@@ -1,0 +1,337 @@
+// Benchmarks regenerating the paper's evaluation, one family per figure
+// and table (see DESIGN.md §3 for the index). Each sub-benchmark times a
+// full protocol round trip at one point of the paper's sweep and reports
+// the communication cost and the user/LSP time split as custom metrics:
+//
+//	comm-B/query     total communication bytes per query
+//	user-ms/query    summed user computation
+//	lsp-ms/query     LSP computation
+//	pois/answer      POIs returned after sanitation (Figure 7)
+//
+// Benchmarks use 512-bit keys so the whole suite completes in minutes; the
+// figure shapes are key-size independent (EXPERIMENTS.md records 1024-bit
+// harness runs).
+//
+//	go test -bench=. -benchmem
+package ppgnn
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"ppgnn/internal/baseline/apnn"
+	"ppgnn/internal/baseline/glp"
+	"ppgnn/internal/baseline/ippf"
+	"ppgnn/internal/core"
+	"ppgnn/internal/cost"
+	"ppgnn/internal/gnn"
+	"ppgnn/internal/paillier"
+)
+
+const benchKeyBits = 512
+
+var benchEnv struct {
+	once    sync.Once
+	pois    []POI
+	server  *Server
+	ippfSrv *ippf.Server
+	glpSrv  *glp.Server
+	apnnSrv *apnn.Server
+	apnnKey *paillier.PrivateKey
+}
+
+func benchSetup(b *testing.B) {
+	b.Helper()
+	benchEnv.once.Do(func() {
+		benchEnv.pois = SequoiaDataset()
+		benchEnv.server = NewServer(benchEnv.pois, UnitSpace)
+		benchEnv.ippfSrv = ippf.NewServer(benchEnv.pois, UnitSpace)
+		benchEnv.glpSrv = glp.NewServer(benchEnv.pois, UnitSpace)
+		var err error
+		benchEnv.apnnSrv, err = apnn.NewServer(benchEnv.pois, UnitSpace, 64, 32)
+		if err != nil {
+			panic(err)
+		}
+		benchEnv.apnnKey, err = paillier.GenerateKey(nil, benchKeyBits)
+		if err != nil {
+			panic(err)
+		}
+	})
+	if benchEnv.server == nil {
+		b.Fatal("bench environment failed to initialize")
+	}
+}
+
+// benchParams is the Table 3 default setting at bench key size.
+func benchParams(n int, variant Variant) Params {
+	p := DefaultParams(n)
+	p.KeyBits = benchKeyBits
+	p.Variant = variant
+	return p
+}
+
+// runQueryBench times b.N full round trips for one parameter point and
+// reports the per-query cost metrics.
+func runQueryBench(b *testing.B, p Params) {
+	benchSetup(b)
+	rng := rand.New(rand.NewSource(11))
+	locs := make([]Point, p.N)
+	for i := range locs {
+		locs[i] = Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	g, err := core.NewGroup(p, locs, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var meter Meter
+	pois := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := g.Run(core.LocalService{LSP: benchEnv.server, Meter: &meter}, &meter)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pois += len(res.Records)
+	}
+	b.StopTimer()
+	reportCost(b, meter.Snapshot(), b.N)
+	b.ReportMetric(float64(pois)/float64(b.N), "pois/answer")
+}
+
+func reportCost(b *testing.B, s cost.Snapshot, n int) {
+	b.Helper()
+	avg := s.Scale(n)
+	b.ReportMetric(float64(avg.TotalBytes()), "comm-B/query")
+	b.ReportMetric(float64(avg.UserTime)/float64(time.Millisecond), "user-ms/query")
+	b.ReportMetric(float64(avg.LSPTime)/float64(time.Millisecond), "lsp-ms/query")
+}
+
+// BenchmarkFig5_VaryD: Figure 5a–c (n=1, vary d, PPGNN vs PPGNN-OPT).
+func BenchmarkFig5_VaryD(b *testing.B) {
+	for _, d := range []int{5, 25, 50} {
+		for _, v := range []Variant{PPGNN, PPGNNOPT} {
+			b.Run(fmt.Sprintf("d=%d/%v", d, v), func(b *testing.B) {
+				p := benchParams(1, v)
+				p.D, p.Delta = d, d
+				runQueryBench(b, p)
+			})
+		}
+	}
+}
+
+// BenchmarkFig5_VaryK: Figure 5d–f (n=1, vary k, + APNN).
+func BenchmarkFig5_VaryK(b *testing.B) {
+	for _, k := range []int{2, 8, 32} {
+		for _, v := range []Variant{PPGNN, PPGNNOPT} {
+			b.Run(fmt.Sprintf("k=%d/%v", k, v), func(b *testing.B) {
+				p := benchParams(1, v)
+				p.K = k
+				runQueryBench(b, p)
+			})
+		}
+		b.Run(fmt.Sprintf("k=%d/APNN", k), func(b *testing.B) {
+			benchSetup(b)
+			cli := &apnn.Client{B: 5, Key: benchEnv.apnnKey, Rng: rand.New(rand.NewSource(13))}
+			var meter Meter
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				loc := Point{X: cli.Rng.Float64(), Y: cli.Rng.Float64()}
+				if _, err := cli.Query(benchEnv.apnnSrv, loc, k, &meter); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			reportCost(b, meter.Snapshot(), b.N)
+		})
+	}
+}
+
+// BenchmarkFig6_VaryDelta: Figure 6a–c (n=8, vary δ, + Naive).
+func BenchmarkFig6_VaryDelta(b *testing.B) {
+	for _, delta := range []int{25, 100, 200} {
+		for _, v := range []Variant{PPGNN, PPGNNOPT, Naive} {
+			b.Run(fmt.Sprintf("delta=%d/%v", delta, v), func(b *testing.B) {
+				p := benchParams(8, v)
+				p.Delta = delta
+				runQueryBench(b, p)
+			})
+		}
+	}
+}
+
+// BenchmarkFig6_VaryK: Figure 6d–f (n=8, vary k).
+func BenchmarkFig6_VaryK(b *testing.B) {
+	for _, k := range []int{2, 8, 32} {
+		for _, v := range []Variant{PPGNN, PPGNNOPT, Naive} {
+			b.Run(fmt.Sprintf("k=%d/%v", k, v), func(b *testing.B) {
+				p := benchParams(8, v)
+				p.K = k
+				runQueryBench(b, p)
+			})
+		}
+	}
+}
+
+// BenchmarkFig6_VaryN: Figure 6g–i (vary n).
+func BenchmarkFig6_VaryN(b *testing.B) {
+	for _, n := range []int{2, 8, 32} {
+		for _, v := range []Variant{PPGNN, PPGNNOPT, Naive} {
+			b.Run(fmt.Sprintf("n=%d/%v", n, v), func(b *testing.B) {
+				runQueryBench(b, benchParams(n, v))
+			})
+		}
+	}
+}
+
+// BenchmarkFig6_VaryTheta: Figure 6j–l (vary θ0).
+func BenchmarkFig6_VaryTheta(b *testing.B) {
+	for _, th := range []float64{0.01, 0.05, 0.1} {
+		for _, v := range []Variant{PPGNN, PPGNNOPT, Naive} {
+			b.Run(fmt.Sprintf("theta0=%v/%v", th, v), func(b *testing.B) {
+				p := benchParams(8, v)
+				p.Theta0 = th
+				runQueryBench(b, p)
+			})
+		}
+	}
+}
+
+// BenchmarkFig7_POIsReturned: Figure 7a–c — the pois/answer metric is the
+// figure's y-axis (θ0 = 0.01 as in the paper's Figure 7 defaults).
+func BenchmarkFig7_POIsReturned(b *testing.B) {
+	for _, k := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			p := benchParams(8, PPGNN)
+			p.K = k
+			p.Theta0 = 0.01
+			runQueryBench(b, p)
+		})
+	}
+	for _, n := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			p := benchParams(n, PPGNN)
+			p.Theta0 = 0.01
+			runQueryBench(b, p)
+		})
+	}
+	for _, th := range []float64{0.01, 0.05, 0.1} {
+		b.Run(fmt.Sprintf("theta0=%v", th), func(b *testing.B) {
+			p := benchParams(8, PPGNN)
+			p.Theta0 = th
+			runQueryBench(b, p)
+		})
+	}
+}
+
+// benchIPPF and benchGLP time the baselines at one (n, k) point.
+func benchIPPF(b *testing.B, n, k int) {
+	benchSetup(b)
+	rng := rand.New(rand.NewSource(17))
+	locs := make([]Point, n)
+	for i := range locs {
+		locs[i] = Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	g := &ippf.Group{Locations: locs, RectArea: 5e-6, Agg: gnn.Sum, Space: UnitSpace, Rng: rng}
+	var meter Meter
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Query(benchEnv.ippfSrv, k, &meter); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportCost(b, meter.Snapshot(), b.N)
+}
+
+func benchGLP(b *testing.B, n, k int) {
+	benchSetup(b)
+	rng := rand.New(rand.NewSource(19))
+	locs := make([]Point, n)
+	for i := range locs {
+		locs[i] = Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	g := &glp.Group{Locations: locs, Space: UnitSpace, KeyBits: benchKeyBits, Rng: rng}
+	var meter Meter
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Query(benchEnv.glpSrv, k, &meter); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportCost(b, meter.Snapshot(), b.N)
+}
+
+// BenchmarkFig8_VaryK: Figure 8a–c (PPGNN, PPGNN-NAS, IPPF, GLP; vary k).
+func BenchmarkFig8_VaryK(b *testing.B) {
+	for _, k := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("k=%d/PPGNN", k), func(b *testing.B) {
+			p := benchParams(8, PPGNN)
+			p.K = k
+			runQueryBench(b, p)
+		})
+		b.Run(fmt.Sprintf("k=%d/PPGNN-NAS", k), func(b *testing.B) {
+			p := benchParams(8, PPGNN)
+			p.K = k
+			p.NoSanitize = true
+			runQueryBench(b, p)
+		})
+		b.Run(fmt.Sprintf("k=%d/IPPF", k), func(b *testing.B) { benchIPPF(b, 8, k) })
+		b.Run(fmt.Sprintf("k=%d/GLP", k), func(b *testing.B) { benchGLP(b, 8, k) })
+	}
+}
+
+// BenchmarkFig8_VaryN: Figure 8d–f (vary n).
+func BenchmarkFig8_VaryN(b *testing.B) {
+	for _, n := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("n=%d/PPGNN", n), func(b *testing.B) {
+			runQueryBench(b, benchParams(n, PPGNN))
+		})
+		b.Run(fmt.Sprintf("n=%d/PPGNN-NAS", n), func(b *testing.B) {
+			p := benchParams(n, PPGNN)
+			p.NoSanitize = true
+			runQueryBench(b, p)
+		})
+		b.Run(fmt.Sprintf("n=%d/IPPF", n), func(b *testing.B) { benchIPPF(b, n, 8) })
+		b.Run(fmt.Sprintf("n=%d/GLP", n), func(b *testing.B) { benchGLP(b, n, 8) })
+	}
+}
+
+// BenchmarkTable2_PrivateSelection times the LSP's homomorphic selection
+// primitive at the two δ' scales of the Table 2 analysis, isolating the
+// O(δ'k)·C_e term.
+func BenchmarkTable2_PrivateSelection(b *testing.B) {
+	benchSetup(b)
+	key := benchEnv.apnnKey
+	for _, dp := range []int{50, 200} {
+		b.Run(fmt.Sprintf("deltaPrime=%d", dp), func(b *testing.B) {
+			// Build a 1×δ' plaintext row and an encrypted indicator.
+			row := make([]*big.Int, dp)
+			for i := range row {
+				row[i] = big.NewInt(int64(1000 + i))
+			}
+			v := make([]*paillier.Ciphertext, dp)
+			for i := range v {
+				bit := int64(0)
+				if i == dp/2 {
+					bit = 1
+				}
+				ct, err := key.EncryptInt64(nil, bit, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				v[i] = ct
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := key.DotProduct(row, v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,121 @@
+// Command ppgnn-experiments regenerates the tables and figures of the
+// paper's evaluation (Section 8). Each figure is printed as text tables
+// with the same x-axes and series as the paper.
+//
+// Usage:
+//
+//	ppgnn-experiments [flags]
+//
+//	-exp all|fig5|fig6|fig7|fig8|table2|table3|table4|mobile
+//	     which experiment to run (default all)
+//	-queries N   queries averaged per data point (default 3; paper: 500)
+//	-keybits N   Paillier modulus size (default 1024, as in the paper)
+//	-quick       endpoint-only sweeps with small defaults (smoke test)
+//	-dataset F   load a real point file instead of the Sequoia substitute
+//	-seed N      base RNG seed
+//
+// Absolute timings differ from the paper's C++/GMP testbed; the shapes
+// (who wins, growth rates, crossovers) are the reproduction target. See
+// EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ppgnn/internal/dataset"
+	"ppgnn/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all|fig5|fig6|fig7|fig8|table2|table3|table4|mobile")
+	queries := flag.Int("queries", 3, "queries averaged per data point")
+	keybits := flag.Int("keybits", 1024, "Paillier modulus size in bits")
+	quick := flag.Bool("quick", false, "endpoint-only sweeps (smoke test)")
+	datasetPath := flag.String("dataset", "", "optional point file (e.g. the real Sequoia data)")
+	seed := flag.Int64("seed", 42, "base RNG seed")
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Queries: *queries,
+		KeyBits: *keybits,
+		Seed:    *seed,
+		Quick:   *quick,
+	}
+	if *datasetPath != "" {
+		items, err := dataset.LoadFile(*datasetPath)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Items = items
+	}
+
+	type job struct {
+		name string
+		run  func() error
+	}
+	printTables := func(fn func() ([]*experiments.Table, error)) func() error {
+		return func() error {
+			tables, err := fn()
+			if err != nil {
+				return err
+			}
+			for _, t := range tables {
+				fmt.Println(t.Format())
+			}
+			return nil
+		}
+	}
+	jobs := []job{
+		{"table3", func() error { fmt.Println(cfg.Table3()); return nil }},
+		{"table4", func() error { fmt.Println(experiments.Table4()); return nil }},
+		{"table2", func() error {
+			out, err := cfg.Table2()
+			if err != nil {
+				return err
+			}
+			fmt.Println(out)
+			return nil
+		}},
+		{"mobile", func() error {
+			out, err := cfg.Mobile()
+			if err != nil {
+				return err
+			}
+			fmt.Println(out)
+			return nil
+		}},
+		{"fig5", printTables(cfg.Fig5)},
+		{"fig6", printTables(cfg.Fig6)},
+		{"fig7", printTables(cfg.Fig7)},
+		{"fig8", printTables(cfg.Fig8)},
+	}
+
+	ran := false
+	for _, j := range jobs {
+		if *exp != "all" && *exp != j.name {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		fmt.Printf("=== %s ===\n", j.name)
+		if err := j.run(); err != nil {
+			fatal(fmt.Errorf("%s: %w", j.name, err))
+		}
+		fmt.Printf("[%s completed in %v]\n\n", j.name, time.Since(start).Round(time.Millisecond))
+	}
+	if !ran {
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+	if kg, err := cfg.KeygenCost(); err == nil {
+		fmt.Printf("(one-time %d-bit key generation: %v — excluded from per-query user cost)\n",
+			cfg.Defaults().KeyBits, kg.Round(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ppgnn-experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+// Command ppgnn-lsp runs a location-based service provider as a TCP
+// daemon. Groups query it with cmd/ppgnn -connect or the library's Dial.
+//
+// Usage:
+//
+//	ppgnn-lsp [flags]
+//
+//	-addr A      listen address (default :9042)
+//	-dataset F   point file (default: the bundled Sequoia substitute)
+//	-workers N   parallel candidate-query workers (default 1)
+//	-seed N      sanitation RNG seed
+//	-quiet       suppress per-connection logs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"ppgnn"
+	"ppgnn/internal/transport"
+)
+
+func main() {
+	addr := flag.String("addr", ":9042", "listen address")
+	datasetPath := flag.String("dataset", "", "point file (default: Sequoia substitute)")
+	workers := flag.Int("workers", 1, "parallel candidate-query workers")
+	seed := flag.Int64("seed", 1, "sanitation RNG seed")
+	quiet := flag.Bool("quiet", false, "suppress per-connection logs")
+	flag.Parse()
+
+	var pois []ppgnn.POI
+	var err error
+	if *datasetPath != "" {
+		pois, err = ppgnn.LoadDatasetFile(*datasetPath)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		pois = ppgnn.SequoiaDataset()
+	}
+	server := ppgnn.NewServer(pois, ppgnn.UnitSpace)
+	server.Workers = *workers
+	server.SanitizeSeed = *seed
+
+	srv := transport.NewServer(server)
+	if !*quiet {
+		srv.Logf = log.Printf
+	}
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("ppgnn-lsp: serving %d POIs on %s (workers=%d)", len(pois), bound, *workers)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("ppgnn-lsp: shutting down")
+	if err := srv.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ppgnn-lsp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,194 @@
+// Command ppgnn runs one privacy-preserving group kNN query end to end —
+// either against an in-process LSP over the bundled Sequoia-substitute
+// database, or against a remote ppgnn-lsp daemon.
+//
+// Usage:
+//
+//	ppgnn [flags] x1,y1 [x2,y2 ...]
+//
+// Each positional argument is one user's real location in the unit square.
+//
+//	-k N         POIs to retrieve (default 8)
+//	-d N         Privacy I anonymity parameter (default 25)
+//	-delta N     Privacy II anonymity parameter (default 100; = d for n=1)
+//	-theta0 F    Privacy IV parameter (default 0.05)
+//	-agg sum|max|min
+//	-variant ppgnn|opt|naive
+//	-keybits N   Paillier modulus size (default 1024)
+//	-connect A   query a remote LSP at address A instead of in-process
+//	-dataset F   point file for the in-process LSP
+//	-no-sanitize disable answer sanitation (PPGNN-NAS)
+//	-threshold T require T-of-n users to cooperate for decryption
+//	-ids         include POI database IDs in the answer
+//	-v           print cost accounting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"ppgnn"
+)
+
+func main() {
+	k := flag.Int("k", 8, "POIs to retrieve")
+	d := flag.Int("d", 25, "Privacy I parameter d")
+	delta := flag.Int("delta", 100, "Privacy II parameter delta")
+	theta0 := flag.Float64("theta0", 0.05, "Privacy IV parameter theta0")
+	agg := flag.String("agg", "sum", "aggregate function: sum|max|min")
+	variant := flag.String("variant", "opt", "protocol variant: ppgnn|opt|naive")
+	keybits := flag.Int("keybits", 1024, "Paillier modulus size")
+	connect := flag.String("connect", "", "remote LSP address (default: in-process)")
+	datasetPath := flag.String("dataset", "", "point file for the in-process LSP")
+	noSanitize := flag.Bool("no-sanitize", false, "disable answer sanitation (PPGNN-NAS)")
+	ids := flag.Bool("ids", false, "include POI IDs in the answer")
+	verbose := flag.Bool("v", false, "print cost accounting")
+	seed := flag.Int64("seed", 0, "RNG seed (0 = time-based)")
+	threshold := flag.Int("threshold", 0, "require t-of-n users for decryption (0 = coordinator key)")
+	flag.Parse()
+
+	locs, err := parseLocations(flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+
+	p := ppgnn.DefaultParams(len(locs))
+	p.K = *k
+	p.D = *d
+	p.Delta = *delta
+	if len(locs) == 1 {
+		p.Delta = p.D
+	}
+	p.Theta0 = *theta0
+	p.KeyBits = *keybits
+	p.NoSanitize = *noSanitize
+	p.IncludeIDs = *ids
+	switch *agg {
+	case "sum":
+		p.Agg = ppgnn.Sum
+	case "max":
+		p.Agg = ppgnn.Max
+	case "min":
+		p.Agg = ppgnn.Min
+	default:
+		fatal(fmt.Errorf("unknown aggregate %q", *agg))
+	}
+	switch *variant {
+	case "ppgnn":
+		p.Variant = ppgnn.PPGNN
+	case "opt":
+		p.Variant = ppgnn.PPGNNOPT
+	case "naive":
+		p.Variant = ppgnn.Naive
+	default:
+		fatal(fmt.Errorf("unknown variant %q", *variant))
+	}
+
+	var rng *rand.Rand
+	if *seed != 0 {
+		rng = rand.New(rand.NewSource(*seed))
+	}
+	// runQuery abstracts over the plain and threshold group types.
+	var runQuery func(svc ppgnn.Service, meter *ppgnn.Meter) (*ppgnn.Result, error)
+	var deltaPrime int
+	var keygen time.Duration
+	if *threshold > 0 {
+		tg, err := ppgnn.NewThresholdGroup(p, locs, rng, *threshold)
+		if err != nil {
+			fatal(err)
+		}
+		runQuery = tg.Run
+		deltaPrime = tg.DeltaPrime()
+		keygen = tg.KeygenTime
+	} else {
+		group, err := ppgnn.NewGroup(p, locs, rng)
+		if err != nil {
+			fatal(err)
+		}
+		runQuery = group.Run
+		deltaPrime = group.DeltaPrime()
+		keygen = group.KeygenTime
+	}
+
+	var svc ppgnn.Service
+	var meter ppgnn.Meter
+	if *connect != "" {
+		cli, err := ppgnn.Dial(*connect)
+		if err != nil {
+			fatal(err)
+		}
+		defer cli.Close()
+		cli.Meter = &meter
+		svc = cli
+	} else {
+		pois, err := loadPOIs(*datasetPath)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded %d POIs\n", len(pois))
+		svc = ppgnn.LocalMetered(ppgnn.NewServer(pois, ppgnn.UnitSpace), &meter)
+	}
+
+	start := time.Now()
+	res, err := runQuery(svc, &meter)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("query: n=%d k=%d d=%d delta=%d (delta'=%d) theta0=%v agg=%s variant=%v\n",
+		p.N, p.K, p.D, p.Delta, deltaPrime, p.Theta0, *agg, p.Variant)
+	fmt.Printf("answer (%d POIs after sanitation):\n", len(res.Points))
+	for i, pt := range res.Points {
+		if p.IncludeIDs {
+			fmt.Printf("  %2d. poi#%-8d (%.6f, %.6f)\n", i+1, res.Records[i].ID, pt.X, pt.Y)
+		} else {
+			fmt.Printf("  %2d. (%.6f, %.6f)\n", i+1, pt.X, pt.Y)
+		}
+	}
+	if *verbose {
+		fmt.Printf("total wall time: %v\n", elapsed.Round(time.Millisecond))
+		fmt.Printf("costs: %v\n", meter.Snapshot())
+		fmt.Printf("one-time keygen: %v\n", keygen.Round(time.Millisecond))
+	}
+}
+
+func parseLocations(args []string) ([]ppgnn.Point, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf("no user locations given; usage: ppgnn [flags] x1,y1 [x2,y2 ...]")
+	}
+	out := make([]ppgnn.Point, len(args))
+	for i, a := range args {
+		parts := strings.Split(a, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("location %q: want x,y", a)
+		}
+		x, err := strconv.ParseFloat(parts[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("location %q: %w", a, err)
+		}
+		y, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("location %q: %w", a, err)
+		}
+		out[i] = ppgnn.Point{X: x, Y: y}
+	}
+	return out, nil
+}
+
+func loadPOIs(path string) ([]ppgnn.POI, error) {
+	if path == "" {
+		return ppgnn.SequoiaDataset(), nil
+	}
+	return ppgnn.LoadDatasetFile(path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ppgnn:", err)
+	os.Exit(1)
+}

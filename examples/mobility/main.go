@@ -1,0 +1,83 @@
+// Mobility and repeated queries: what the paper's single-query model does
+// not cover. A commuter queries for cafés every morning from home. With
+// fresh dummies every day, the LSP can intersect the location sets and
+// isolate the home after a handful of queries; with a cached location set
+// (Group.CacheSets) its view never improves beyond 1/d. When the user
+// moves, the cache must be invalidated — which resets the anonymity clock.
+//
+//	go run ./examples/mobility
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ppgnn"
+	"ppgnn/internal/attack"
+	"ppgnn/internal/core"
+	"ppgnn/internal/geo"
+)
+
+func main() {
+	server := ppgnn.NewServer(ppgnn.SequoiaDataset(), ppgnn.UnitSpace)
+	home := ppgnn.Point{X: 0.62, Y: 0.44}
+	office := ppgnn.Point{X: 0.31, Y: 0.70}
+
+	p := ppgnn.DefaultParams(2)
+	p.KeyBits = 512
+	p.K = 3
+	friend := ppgnn.Point{X: 0.60, Y: 0.47}
+
+	run := func(cache bool, days int) int {
+		group, err := ppgnn.NewGroup(p, []ppgnn.Point{home, friend}, rand.New(rand.NewSource(8)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		group.CacheSets = cache
+		var observed [][]geo.Point // what the LSP records for user 0
+		for day := 0; day < days; day++ {
+			q, locs, err := group.BuildQuery(nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			observed = append(observed, locs[0].Set)
+			if _, err := server.Process(q, locs, nil); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return len(attack.Intersection(observed, 1e-9))
+	}
+
+	const days = 6
+	fmt.Printf("%d daily queries from home, fresh dummies:  LSP narrows user to %d candidate location(s)\n",
+		days, run(false, days))
+	fmt.Printf("%d daily queries from home, cached dummies: LSP narrows user to %d candidate location(s)\n",
+		days, run(true, days))
+
+	// Moving invalidates the cache; the new place starts fresh.
+	group, err := core.NewGroup(p, []ppgnn.Point{home, friend}, rand.New(rand.NewSource(9)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	group.CacheSets = true
+	if _, _, err := group.BuildQuery(nil); err != nil {
+		log.Fatal(err)
+	}
+	group.Locations[0] = office
+	group.InvalidateCache()
+	_, locs, err := group.BuildQuery(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	containsOffice := false
+	for _, l := range locs[0].Set {
+		if l == office {
+			containsOffice = true
+		}
+	}
+	fmt.Printf("\nafter moving to the office and invalidating the cache,\n")
+	fmt.Printf("the fresh location set hides the new location: %v\n", containsOffice)
+	fmt.Println("\n(Each anonymity set is d=25 strong per place; the cached-set defense")
+	fmt.Println("trades query unlinkability for location safety across repeats.)")
+}

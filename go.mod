@@ -1,0 +1,3 @@
+module ppgnn
+
+go 1.22

@@ -1,0 +1,165 @@
+package attack
+
+import (
+	"math/rand"
+	"testing"
+
+	"ppgnn/internal/dataset"
+	"ppgnn/internal/dummy"
+	"ppgnn/internal/geo"
+	"ppgnn/internal/rtree"
+)
+
+// Independent dummies per query: after a handful of queries, the
+// intersection attack isolates the real location.
+func TestIntersectionBreaksIndependentDummies(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	real := geo.Point{X: 0.37, Y: 0.61}
+	const d, queries = 25, 5
+	var sets [][]geo.Point
+	for q := 0; q < queries; q++ {
+		pos := rng.Intn(d)
+		sets = append(sets, dummy.Uniform{}.LocationSet(rng, real, d, pos, geo.UnitRect))
+	}
+	got := Intersection(sets, 1e-9)
+	if len(got) != 1 {
+		t.Fatalf("intersection left %d candidates, want exactly the real location", len(got))
+	}
+	if got[0] != real {
+		t.Fatalf("intersection found %v, real is %v", got[0], real)
+	}
+}
+
+// Reusing one cached location set across queries defeats the intersection
+// attack: the anonymity set never shrinks.
+func TestCachedLocationSetResists(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	real := geo.Point{X: 0.5, Y: 0.5}
+	const d = 25
+	cached := dummy.Uniform{}.LocationSet(rng, real, d, 7, geo.UnitRect)
+	sets := [][]geo.Point{cached, cached, cached, cached, cached}
+	got := Intersection(sets, 1e-9)
+	if len(got) != d {
+		t.Fatalf("cached sets left %d candidates, want %d", len(got), d)
+	}
+}
+
+// The real location must always survive the intersection.
+func TestIntersectionNeverLosesReal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		real := geo.Point{X: rng.Float64(), Y: rng.Float64()}
+		var sets [][]geo.Point
+		for q := 0; q < 3; q++ {
+			sets = append(sets, dummy.GridSpread{}.LocationSet(rng, real, 16, rng.Intn(16), geo.UnitRect))
+		}
+		got := Intersection(sets, 1e-9)
+		found := false
+		for _, c := range got {
+			if c == real {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("trial %d: real location eliminated", trial)
+		}
+	}
+}
+
+func TestIntersectionEdgeCases(t *testing.T) {
+	if got := Intersection(nil, 0.1); got != nil {
+		t.Fatal("empty input returned candidates")
+	}
+	a := []geo.Point{{X: 0.1, Y: 0.1}}
+	b := []geo.Point{{X: 0.9, Y: 0.9}}
+	if got := Intersection([][]geo.Point{a, b}, 1e-9); got != nil {
+		t.Fatal("disjoint sets returned candidates")
+	}
+}
+
+func TestAnonymityAfterFormula(t *testing.T) {
+	// One query: full anonymity d.
+	if got := AnonymityAfter(25, 1, 0.01, geo.UnitRect); got != 25 {
+		t.Fatalf("q=1 anonymity = %v", got)
+	}
+	// Anonymity is monotone non-increasing in q and tends to 1.
+	prev := 26.0
+	for q := 1; q <= 6; q++ {
+		got := AnonymityAfter(25, q, 0.01, geo.UnitRect)
+		if got > prev {
+			t.Fatalf("anonymity grew at q=%d", q)
+		}
+		prev = got
+	}
+	if prev > 1.001 {
+		t.Fatalf("anonymity after 6 queries = %v, want ≈1", prev)
+	}
+	if got := AnonymityAfter(25, 0, 0.01, geo.UnitRect); got != 25 {
+		t.Fatalf("q=0 anonymity = %v", got)
+	}
+}
+
+// Empirical decay matches the closed form within noise.
+func TestIntersectionDecayMatchesFormula(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const d, eps = 25, 0.05
+	const trials = 60
+	real := geo.Point{X: 0.5, Y: 0.5}
+	for _, q := range []int{2, 3} {
+		total := 0
+		for trial := 0; trial < trials; trial++ {
+			var sets [][]geo.Point
+			for i := 0; i < q; i++ {
+				sets = append(sets, dummy.Uniform{}.LocationSet(rng, real, d, rng.Intn(d), geo.UnitRect))
+			}
+			total += len(Intersection(sets, eps))
+		}
+		got := float64(total) / trials
+		want := AnonymityAfter(d, q, eps, geo.UnitRect)
+		if got < want*0.5 || got > want*2+1 {
+			t.Fatalf("q=%d: empirical anonymity %.2f vs formula %.2f", q, got, want)
+		}
+	}
+}
+
+// DensityRank: on a clustered database, the density prior should not give
+// the attacker a dramatic edge over random guessing for either generator —
+// and the measured accuracies document the comparison.
+func TestDensityRankAccuracy(t *testing.T) {
+	items := dataset.Synthetic(5, 20000)
+	db := rtree.Bulk(items, rtree.DefaultMaxEntries)
+	rng := rand.New(rand.NewSource(6))
+	const d, obs = 10, 150
+	for name, gen := range map[string]dummy.Generator{
+		"uniform": dummy.Uniform{},
+		"grid":    dummy.GridSpread{},
+	} {
+		var sets [][]geo.Point
+		var realIdx []int
+		for i := 0; i < obs; i++ {
+			// Users are positioned near POIs (sampled from the database),
+			// which is what gives the density prior its power.
+			real := items[rng.Intn(len(items))].P
+			pos := rng.Intn(d)
+			sets = append(sets, gen.LocationSet(rng, real, d, pos, geo.UnitRect))
+			realIdx = append(realIdx, pos)
+		}
+		acc := GuessAccuracy(sets, realIdx, db, 0.02)
+		t.Logf("%s dummies: density-rank top-1 accuracy %.2f (random guess %.2f)", name, acc, 1.0/d)
+		if acc > 0.8 {
+			t.Fatalf("%s dummies: density attack accuracy %.2f — anonymity collapsed", name, acc)
+		}
+		if acc < 1.0/(2*d) {
+			t.Fatalf("%s dummies: accuracy %.2f below random; scoring broken?", name, acc)
+		}
+	}
+}
+
+func TestGuessAccuracyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched observations accepted")
+		}
+	}()
+	GuessAccuracy(make([][]geo.Point, 2), make([]int, 1), rtree.New(0), 0.1)
+}

@@ -1,0 +1,237 @@
+// Package apnn implements the single-user baseline of Section 8.2: the
+// approximate private kNN of Yi et al. [36] ("Practical Approximate k
+// Nearest Neighbor Queries with Location and Query Privacy", TKDE 2016).
+//
+// The LSP tiles the space into a G×G grid and precomputes the kNN answer
+// with respect to every cell center. At query time the user picks a b×b
+// cloak region of cells containing her cell and privately retrieves the
+// precomputed answer of her own cell with an encrypted indicator vector of
+// length b², so the LSP learns neither the cell (Privacy I/II, level b²)
+// nor more than one answer is released (Privacy III).
+//
+// Trade-offs the paper highlights: the answer is approximate (computed for
+// the cell center, not the true location), the precomputation must be
+// redone when the database changes, and the scheme cannot extend to group
+// queries because the number of possible (multi-cell) queries explodes.
+package apnn
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"time"
+
+	"ppgnn/internal/cost"
+	"ppgnn/internal/encode"
+	"ppgnn/internal/geo"
+	"ppgnn/internal/paillier"
+	"ppgnn/internal/rtree"
+)
+
+// Server is the APNN LSP: a grid of precomputed kNN answers.
+type Server struct {
+	Space   geo.Rect
+	Grid    int // G: cells per axis
+	MaxK    int // precomputed answer length
+	tree    *rtree.Tree
+	answers [][]rtree.Item // per cell, MaxK nearest to the cell center
+	preTime time.Duration
+}
+
+// NewServer precomputes the per-cell answers. The precomputation time is
+// retrievable via PrecomputeTime — the "expensive update cost" the paper
+// attributes to this class of schemes.
+func NewServer(items []rtree.Item, space geo.Rect, grid, maxK int) (*Server, error) {
+	if grid < 1 || maxK < 1 {
+		return nil, fmt.Errorf("apnn: invalid grid=%d maxK=%d", grid, maxK)
+	}
+	s := &Server{
+		Space: space, Grid: grid, MaxK: maxK,
+		tree: rtree.Bulk(items, rtree.DefaultMaxEntries),
+	}
+	start := time.Now()
+	s.answers = make([][]rtree.Item, grid*grid)
+	for cy := 0; cy < grid; cy++ {
+		for cx := 0; cx < grid; cx++ {
+			center := s.cellCenter(cx, cy)
+			nbs := s.tree.NearestK(center, maxK)
+			ans := make([]rtree.Item, len(nbs))
+			for i, nb := range nbs {
+				ans[i] = nb.Item
+			}
+			s.answers[cy*grid+cx] = ans
+		}
+	}
+	s.preTime = time.Since(start)
+	return s, nil
+}
+
+// PrecomputeTime is the one-time (and per-database-update) cost of building
+// the grid answers.
+func (s *Server) PrecomputeTime() time.Duration { return s.preTime }
+
+func (s *Server) cellCenter(cx, cy int) geo.Point {
+	w := s.Space.Width() / float64(s.Grid)
+	h := s.Space.Height() / float64(s.Grid)
+	return geo.Point{
+		X: s.Space.Min.X + (float64(cx)+0.5)*w,
+		Y: s.Space.Min.Y + (float64(cy)+0.5)*h,
+	}
+}
+
+// CellOf returns the grid coordinates of a point.
+func (s *Server) CellOf(p geo.Point) (cx, cy int) {
+	fx := (p.X - s.Space.Min.X) / s.Space.Width()
+	fy := (p.Y - s.Space.Min.Y) / s.Space.Height()
+	cx = int(fx * float64(s.Grid))
+	cy = int(fy * float64(s.Grid))
+	if cx >= s.Grid {
+		cx = s.Grid - 1
+	}
+	if cy >= s.Grid {
+		cy = s.Grid - 1
+	}
+	if cx < 0 {
+		cx = 0
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	return cx, cy
+}
+
+// QueryMsg is the client's request: a cloak region of b×b cells and an
+// encrypted indicator of the user's cell within it.
+type QueryMsg struct {
+	K         int
+	X0, Y0, B int        // cloak region: cells [X0,X0+B)×[Y0,Y0+B)
+	PK        *big.Int   // Paillier modulus
+	V         []*big.Int // ε_1 indicator, length B²
+}
+
+// byteLen approximates the serialized request size (the communication
+// metric): fixed header + B² ciphertexts.
+func (q *QueryMsg) byteLen() int {
+	kb := (q.PK.BitLen() + 7) / 8
+	return 16 + kb + len(q.V)*2*kb
+}
+
+// Process runs the private selection over the cloak region's precomputed
+// answers, charging its work to the meter's LSP time.
+func (s *Server) Process(q *QueryMsg, meter *cost.Meter) ([]*big.Int, error) {
+	start := time.Now()
+	defer func() { meter.AddTime(cost.LSP, time.Since(start)) }()
+	if q.K < 1 || q.K > s.MaxK {
+		return nil, fmt.Errorf("apnn: k=%d outside [1,%d]", q.K, s.MaxK)
+	}
+	if q.B < 1 || q.X0 < 0 || q.Y0 < 0 || q.X0+q.B > s.Grid || q.Y0+q.B > s.Grid {
+		return nil, fmt.Errorf("apnn: cloak region out of grid")
+	}
+	if len(q.V) != q.B*q.B {
+		return nil, fmt.Errorf("apnn: indicator length %d != b²=%d", len(q.V), q.B*q.B)
+	}
+	pk := paillier.NewPublicKey(q.PK)
+	codec := encode.Codec{ModulusBits: q.PK.BitLen()}
+
+	// Encode each cell's k-prefix answer.
+	m := codec.IntsFor(q.K)
+	cols := make([][]*big.Int, len(q.V))
+	for i := range cols {
+		cx := q.X0 + i%q.B
+		cy := q.Y0 + i/q.B
+		ans := s.answers[cy*s.Grid+cx]
+		if len(ans) > q.K {
+			ans = ans[:q.K]
+		}
+		recs := make([]encode.Record, len(ans))
+		for j, it := range ans {
+			recs[j] = encode.RecordOf(it.ID, it.P, s.Space)
+		}
+		cols[i] = encode.Pad(codec.Encode(recs), m)
+	}
+	v := make([]*paillier.Ciphertext, len(q.V))
+	for i, c := range q.V {
+		v[i] = &paillier.Ciphertext{C: c, S: 1}
+	}
+	out := make([]*big.Int, m)
+	for row := 0; row < m; row++ {
+		coeffs := make([]*big.Int, len(cols))
+		for i := range cols {
+			coeffs[i] = cols[i][row]
+		}
+		ct, err := pk.DotProduct(coeffs, v)
+		if err != nil {
+			return nil, fmt.Errorf("apnn: selection: %w", err)
+		}
+		out[row] = ct.C
+	}
+	meter.CountOp("apnn-dot", int64(m))
+	return out, nil
+}
+
+// Client is the single APNN user.
+type Client struct {
+	B   int // cloak width in cells (paper: 5, i.e. b² = 25 ≙ d = 25)
+	Key *paillier.PrivateKey
+	Rng *rand.Rand
+}
+
+// Query runs the full APNN round trip and returns the (approximate)
+// answer records. Costs land on the meter.
+func (c *Client) Query(srv *Server, loc geo.Point, k int, meter *cost.Meter) ([]encode.Record, error) {
+	userStart := time.Now()
+	cx, cy := srv.CellOf(loc)
+	// Place the user's cell uniformly inside the cloak region, clamped to
+	// the grid.
+	offX := c.Rng.Intn(c.B)
+	offY := c.Rng.Intn(c.B)
+	x0 := clamp(cx-offX, 0, srv.Grid-c.B)
+	y0 := clamp(cy-offY, 0, srv.Grid-c.B)
+	idx := (cy-y0)*c.B + (cx - x0)
+
+	v := make([]*big.Int, c.B*c.B)
+	for i := range v {
+		bit := int64(0)
+		if i == idx {
+			bit = 1
+		}
+		ct, err := c.Key.EncryptInt64(nil, bit, 1)
+		if err != nil {
+			return nil, fmt.Errorf("apnn: encrypting indicator: %w", err)
+		}
+		v[i] = ct.C
+	}
+	q := &QueryMsg{K: k, X0: x0, Y0: y0, B: c.B, PK: c.Key.N, V: v}
+	meter.AddTime(cost.Users, time.Since(userStart))
+	meter.AddBytes(cost.UserToLSP, q.byteLen())
+
+	cts, err := srv.Process(q, meter)
+	if err != nil {
+		return nil, err
+	}
+	kb := (c.Key.N.BitLen() + 7) / 8
+	meter.AddBytes(cost.LSPToUser, len(cts)*2*kb)
+
+	decStart := time.Now()
+	defer func() { meter.AddTime(cost.Users, time.Since(decStart)) }()
+	ints := make([]*big.Int, len(cts))
+	for i, ct := range cts {
+		m, err := c.Key.Decrypt(&paillier.Ciphertext{C: ct, S: 1})
+		if err != nil {
+			return nil, fmt.Errorf("apnn: decrypting: %w", err)
+		}
+		ints[i] = m
+	}
+	codec := encode.Codec{ModulusBits: c.Key.N.BitLen()}
+	return codec.Decode(ints)
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

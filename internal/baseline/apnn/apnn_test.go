@@ -1,0 +1,159 @@
+package apnn
+
+import (
+	"math/rand"
+	"testing"
+
+	"ppgnn/internal/cost"
+	"ppgnn/internal/dataset"
+	"ppgnn/internal/geo"
+	"ppgnn/internal/paillier"
+)
+
+func testClient(t *testing.T, b int) *Client {
+	t.Helper()
+	key, err := paillier.GenerateKey(nil, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Client{B: b, Key: key, Rng: rand.New(rand.NewSource(1))}
+}
+
+func TestQueryReturnsCellAnswer(t *testing.T) {
+	items := dataset.Synthetic(2, 3000)
+	srv, err := NewServer(items, geo.UnitRect, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := testClient(t, 3)
+	var m cost.Meter
+	loc := geo.Point{X: 0.42, Y: 0.58}
+	recs, err := cli.Query(srv, loc, 5, &m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("got %d records, want 5", len(recs))
+	}
+	// The answer must equal the precomputed answer of the user's own cell.
+	cx, cy := srv.CellOf(loc)
+	want := srv.answers[cy*srv.Grid+cx][:5]
+	for i, r := range recs {
+		if r.Point(geo.UnitRect).Dist(want[i].P) > 1e-6 {
+			t.Fatalf("rank %d: got %v, want %v", i, r.Point(geo.UnitRect), want[i].P)
+		}
+	}
+	s := m.Snapshot()
+	if s.UserToLSPBytes == 0 || s.LSPToUserBytes == 0 {
+		t.Fatal("no communication recorded")
+	}
+}
+
+func TestAnswerIsApproximate(t *testing.T) {
+	// With a coarse grid, the cell-center answer can differ from the true
+	// kNN — the approximation the paper criticizes. We only assert the
+	// answer is "near" the true one (bounded by the cell diagonal).
+	items := dataset.Synthetic(3, 5000)
+	srv, err := NewServer(items, geo.UnitRect, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := testClient(t, 2)
+	loc := geo.Point{X: 0.31, Y: 0.77}
+	recs, err := cli.Query(srv, loc, 4, &m0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cellDiag := 2.0 / 8 * 1.5
+	for _, r := range recs {
+		if r.Point(geo.UnitRect).Dist(loc) > cellDiag {
+			t.Fatalf("answer POI at %v implausibly far from %v", r.Point(geo.UnitRect), loc)
+		}
+	}
+}
+
+var m0 cost.Meter
+
+func TestCloakRegionHidesCell(t *testing.T) {
+	// The request never reveals which of the b² cells is the user's: run
+	// many queries and confirm the user's cell is not always at a fixed
+	// offset in the cloak region.
+	items := dataset.Synthetic(4, 1000)
+	srv, err := NewServer(items, geo.UnitRect, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := testClient(t, 4)
+	loc := geo.Point{X: 0.5, Y: 0.5}
+	cx, cy := srv.CellOf(loc)
+	offsets := map[[2]int]bool{}
+	for i := 0; i < 30; i++ {
+		offX := cli.Rng.Intn(cli.B)
+		offY := cli.Rng.Intn(cli.B)
+		x0 := clamp(cx-offX, 0, srv.Grid-cli.B)
+		y0 := clamp(cy-offY, 0, srv.Grid-cli.B)
+		offsets[[2]int{cx - x0, cy - y0}] = true
+	}
+	if len(offsets) < 2 {
+		t.Fatal("cloak region always places the user at the same offset")
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	items := dataset.Synthetic(5, 200)
+	srv, err := NewServer(items, geo.UnitRect, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, _ := paillier.GenerateKey(nil, 256)
+	cases := []*QueryMsg{
+		{K: 0, B: 2, PK: key.N},                       // k=0
+		{K: 99, B: 2, PK: key.N},                      // k > MaxK
+		{K: 2, X0: 3, Y0: 0, B: 2, PK: key.N},         // region out of grid
+		{K: 2, X0: 0, Y0: 0, B: 2, PK: key.N, V: nil}, // wrong indicator length
+	}
+	for i, q := range cases {
+		if _, err := srv.Process(q, nil); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestNewServerValidation(t *testing.T) {
+	items := dataset.Synthetic(6, 100)
+	if _, err := NewServer(items, geo.UnitRect, 0, 4); err == nil {
+		t.Error("grid=0 accepted")
+	}
+	if _, err := NewServer(items, geo.UnitRect, 4, 0); err == nil {
+		t.Error("maxK=0 accepted")
+	}
+}
+
+func TestPrecomputeTimeRecorded(t *testing.T) {
+	items := dataset.Synthetic(7, 2000)
+	srv, err := NewServer(items, geo.UnitRect, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.PrecomputeTime() <= 0 {
+		t.Fatal("no precompute time recorded")
+	}
+}
+
+func TestCellOfCorners(t *testing.T) {
+	items := dataset.Synthetic(8, 100)
+	srv, err := NewServer(items, geo.UnitRect, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cx, cy := srv.CellOf(geo.Point{X: 0, Y: 0}); cx != 0 || cy != 0 {
+		t.Fatalf("corner cell (%d,%d)", cx, cy)
+	}
+	if cx, cy := srv.CellOf(geo.Point{X: 1, Y: 1}); cx != 9 || cy != 9 {
+		t.Fatalf("max corner cell (%d,%d)", cx, cy)
+	}
+	// Clamping for out-of-space points.
+	if cx, _ := srv.CellOf(geo.Point{X: 2, Y: 0.5}); cx != 9 {
+		t.Fatalf("out-of-space not clamped: %d", cx)
+	}
+}

@@ -1,0 +1,100 @@
+package glp
+
+import (
+	"math/rand"
+	"testing"
+
+	"ppgnn/internal/cost"
+	"ppgnn/internal/dataset"
+	"ppgnn/internal/geo"
+)
+
+func testGroup(rng *rand.Rand, n int) *Group {
+	locs := make([]geo.Point, n)
+	for i := range locs {
+		locs[i] = geo.Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	return &Group{Locations: locs, Space: geo.UnitRect, KeyBits: 256, Rng: rng}
+}
+
+// The secure sum must reconstruct the true centroid (up to quantization),
+// so the GLP answer equals the plaintext centroid kNN.
+func TestGLPMatchesCentroidKNN(t *testing.T) {
+	items := dataset.Synthetic(1, 3000)
+	srv := NewServer(items, geo.UnitRect)
+	for trial := 0; trial < 4; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		g := testGroup(rng, 5)
+		var m cost.Meter
+		got, err := g.Query(srv, 6, &m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := srv.KNN(g.Centroid(), 6, nil)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].ID != want[i].ID {
+				t.Fatalf("trial %d rank %d: got %d, want %d (quantization drift?)",
+					trial, i, got[i].ID, want[i].ID)
+			}
+		}
+	}
+}
+
+// The O(n²) behaviour of Figure 8d–e: crypto ops and intra-group bytes
+// grow quadratically with n.
+func TestGLPQuadraticCosts(t *testing.T) {
+	items := dataset.Synthetic(2, 1000)
+	srv := NewServer(items, geo.UnitRect)
+	measure := func(n int) (int64, int64) {
+		rng := rand.New(rand.NewSource(7))
+		g := testGroup(rng, n)
+		var m cost.Meter
+		if _, err := g.Query(srv, 4, &m); err != nil {
+			t.Fatal(err)
+		}
+		s := m.Snapshot()
+		return s.Ops["glp-enc"], s.IntraGroupBytes
+	}
+	enc4, intra4 := measure(4)
+	enc8, intra8 := measure(8)
+	if enc4 != 4*3 || enc8 != 8*7 {
+		t.Fatalf("encryption counts %d, %d; want n(n-1)", enc4, enc8)
+	}
+	// intra bytes should grow by roughly (8·7)/(4·3) ≈ 4.7×.
+	if ratio := float64(intra8) / float64(intra4); ratio < 3 {
+		t.Fatalf("intra-group bytes ratio %.2f; expected quadratic growth", ratio)
+	}
+}
+
+func TestGLPValidation(t *testing.T) {
+	srv := NewServer(dataset.Synthetic(3, 100), geo.UnitRect)
+	empty := &Group{Space: geo.UnitRect, KeyBits: 256, Rng: rand.New(rand.NewSource(1))}
+	if _, err := empty.Query(srv, 4, nil); err == nil {
+		t.Error("empty group accepted")
+	}
+	weak := testGroup(rand.New(rand.NewSource(2)), 2)
+	weak.KeyBits = 64
+	if _, err := weak.Query(srv, 4, nil); err == nil {
+		t.Error("undersized key accepted")
+	}
+}
+
+func TestGLPSingleUser(t *testing.T) {
+	items := dataset.Synthetic(4, 500)
+	srv := NewServer(items, geo.UnitRect)
+	rng := rand.New(rand.NewSource(3))
+	g := testGroup(rng, 1)
+	got, err := g.Query(srv, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := srv.KNN(g.Locations[0], 3, nil)
+	for i := range want {
+		if got[i].ID != want[i].ID {
+			t.Fatalf("single-user GLP != kNN at rank %d", i)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Package ippf implements the group-query baseline of Section 8.3.2: the
+// incremental pruning private filter of Hashem, Kulik and Zhang [14]
+// ("Privacy preserving group nearest neighbor queries", EDBT 2010).
+//
+// Each user obfuscates their location into a cloak rectangle; the LSP
+// evaluates the group query with respect to the rectangles and returns
+// *candidate supersets* that are guaranteed to contain the true answer,
+// which the users then filter cooperatively with their real locations.
+//
+// The protocol is incremental — one round per rank r = 1..k. In round r
+// the LSP sends every not-yet-sent POI that could be the best remaining
+// one for some true locations inside the rectangles: with per-user
+// rectangles R_1..R_n, POI p qualifies iff
+//
+//	F(mindist(p,R_i)) ≤ min over unsent q of F(maxdist(q,R_i)),
+//
+// since the aggregate cost of p for any consistent locations lies in
+// [F(mindist(p,R_i)), F(maxdist(p,R_i))]. The union of the k rounds
+// provably contains the true top-k, and the group filters it exactly.
+//
+// This per-rank streaming is what makes IPPF's communication cost explode
+// (hundreds to thousands of POIs per query, growing with k and circulating
+// within the group — Figure 8a/8d), and it is why Privacy III fails (many
+// extra POIs are disclosed). Privacy IV also fails in the cooperative
+// filtering phase, where intermediate rankings leak to neighbors.
+package ippf
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"ppgnn/internal/cost"
+	"ppgnn/internal/geo"
+	"ppgnn/internal/gnn"
+	"ppgnn/internal/rtree"
+)
+
+// Server is the IPPF LSP.
+type Server struct {
+	Space geo.Rect
+	items []rtree.Item
+}
+
+// NewServer wraps the POI database.
+func NewServer(items []rtree.Item, space geo.Rect) *Server {
+	return &Server{Space: space, items: items}
+}
+
+// session holds the LSP-side state of one incremental query: the per-POI
+// bounds (computed once) and the set of already-sent POIs.
+type session struct {
+	srv  *Server
+	lo   []float64 // F(mindist(p, R_i)) per POI
+	hi   []float64 // F(maxdist(p, R_i)) per POI
+	sent []bool
+}
+
+// NewSession validates the cloak rectangles and precomputes the aggregate
+// bounds for every POI.
+func (s *Server) NewSession(rects []geo.Rect, agg gnn.Aggregate, meter *cost.Meter) (*session, error) {
+	start := time.Now()
+	defer func() { meter.AddTime(cost.LSP, time.Since(start)) }()
+	if len(rects) == 0 {
+		return nil, fmt.Errorf("ippf: no cloak rectangles")
+	}
+	for _, r := range rects {
+		if !r.Valid() {
+			return nil, fmt.Errorf("ippf: invalid cloak rectangle %v", r)
+		}
+	}
+	ses := &session{
+		srv:  s,
+		lo:   make([]float64, len(s.items)),
+		hi:   make([]float64, len(s.items)),
+		sent: make([]bool, len(s.items)),
+	}
+	los := make([]float64, len(rects))
+	his := make([]float64, len(rects))
+	for i, it := range s.items {
+		for j, r := range rects {
+			los[j] = r.MinDist(it.P)
+			his[j] = r.MaxDist(it.P)
+		}
+		ses.lo[i] = agg.Combine(los)
+		ses.hi[i] = agg.Combine(his)
+	}
+	return ses, nil
+}
+
+// NextCandidates returns the candidates for the next rank: every unsent
+// POI whose lower bound does not exceed the smallest unsent upper bound.
+// The returned POIs are marked sent. It returns nil when the database is
+// exhausted.
+func (ses *session) NextCandidates(meter *cost.Meter) []rtree.Item {
+	start := time.Now()
+	defer func() { meter.AddTime(cost.LSP, time.Since(start)) }()
+	tau := math.Inf(1)
+	for i, h := range ses.hi {
+		if !ses.sent[i] && h < tau {
+			tau = h
+		}
+	}
+	if math.IsInf(tau, 1) {
+		return nil
+	}
+	var out []rtree.Item
+	for i := range ses.srv.items {
+		if !ses.sent[i] && ses.lo[i] <= tau {
+			ses.sent[i] = true
+			out = append(out, ses.srv.items[i])
+		}
+	}
+	meter.CountOp("ippf-candidates", int64(len(out)))
+	return out
+}
+
+// Group is the IPPF client group.
+type Group struct {
+	Locations []geo.Point
+	// RectArea is each user's cloak-rectangle area as a fraction of the
+	// space (paper: 0.0005% = 5e-6, comparable to hiding among d=25 of the
+	// ~5M California addresses).
+	RectArea float64
+	Agg      gnn.Aggregate
+	Space    geo.Rect
+	Rng      *rand.Rand
+}
+
+// cloak returns a random rectangle of the configured area containing p.
+func (g *Group) cloak(p geo.Point) geo.Rect {
+	side := g.Space.Width() * math.Sqrt(g.RectArea)
+	if side <= 0 {
+		side = 1e-6
+	}
+	// Place p uniformly inside the rectangle, clamped to the space.
+	dx := g.Rng.Float64() * side
+	dy := g.Rng.Float64() * side
+	min := geo.Point{X: p.X - dx, Y: p.Y - dy}
+	min = geo.Rect{Min: g.Space.Min, Max: geo.Point{X: g.Space.Max.X - side, Y: g.Space.Max.Y - side}}.Clamp(min)
+	return geo.Rect{Min: min, Max: geo.Point{X: min.X + side, Y: min.Y + side}}
+}
+
+// Query runs the k-round IPPF protocol and returns the exact top-k (IPPF
+// is exact in answer content — its weaknesses are cost and privacy, not
+// accuracy). Costs land on the meter.
+func (g *Group) Query(srv *Server, k int, meter *cost.Meter) ([]gnn.Result, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("ippf: k=%d < 1", k)
+	}
+	n := len(g.Locations)
+	if n == 0 {
+		return nil, fmt.Errorf("ippf: empty group")
+	}
+	userStart := time.Now()
+	rects := make([]geo.Rect, n)
+	for i, p := range g.Locations {
+		rects[i] = g.cloak(p)
+	}
+	meter.AddTime(cost.Users, time.Since(userStart))
+	// Each user sends one rectangle (4 floats + id).
+	meter.AddBytes(cost.UserToLSP, n*36)
+
+	ses, err := srv.NewSession(rects, g.Agg, meter)
+	if err != nil {
+		return nil, err
+	}
+
+	// k incremental rounds; the group accumulates candidates and filters
+	// with the real locations. In [14] the filter is a cooperative private
+	// protocol among the users; its computation is equivalent to scoring
+	// every candidate against all real locations, and the candidates
+	// circulate through the group — the intra-group traffic below.
+	var received []rtree.Item
+	for round := 0; round < k; round++ {
+		cands := ses.NextCandidates(meter)
+		if len(cands) == 0 {
+			break
+		}
+		// LSP → group, then circulated to the other n−1 users.
+		meter.AddBytes(cost.LSPToUser, len(cands)*24)
+		meter.AddBytes(cost.IntraGroup, (n-1)*len(cands)*24)
+		received = append(received, cands...)
+	}
+	filterStart := time.Now()
+	defer func() { meter.AddTime(cost.Users, time.Since(filterStart)) }()
+	bf := &gnn.BruteForce{Items: received, Agg: g.Agg}
+	return bf.Search(g.Locations, k), nil
+}

@@ -1,0 +1,222 @@
+package ippf
+
+import (
+	"math/rand"
+	"testing"
+
+	"ppgnn/internal/cost"
+	"ppgnn/internal/dataset"
+	"ppgnn/internal/geo"
+	"ppgnn/internal/gnn"
+)
+
+func testGroup(rng *rand.Rand, n int) *Group {
+	locs := make([]geo.Point, n)
+	for i := range locs {
+		locs[i] = geo.Point{X: 0.3 + 0.4*rng.Float64(), Y: 0.3 + 0.4*rng.Float64()}
+	}
+	return &Group{
+		Locations: locs,
+		RectArea:  5e-6, // the paper's 0.0005% of the space
+		Agg:       gnn.Sum,
+		Space:     geo.UnitRect,
+		Rng:       rng,
+	}
+}
+
+// The core guarantee: the filtered IPPF answer equals the true kGNN.
+func TestIPPFExactAnswer(t *testing.T) {
+	items := dataset.Synthetic(1, 5000)
+	srv := NewServer(items, geo.UnitRect)
+	bf := &gnn.BruteForce{Items: items, Agg: gnn.Sum}
+	for trial := 0; trial < 5; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		g := testGroup(rng, 4)
+		var m cost.Meter
+		got, err := g.Query(srv, 6, &m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bf.Search(g.Locations, 6)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Item.ID != want[i].Item.ID {
+				t.Fatalf("trial %d rank %d: got %d, want %d", trial, i, got[i].Item.ID, want[i].Item.ID)
+			}
+		}
+	}
+}
+
+// Exactness must hold for every aggregate.
+func TestIPPFExactAllAggregates(t *testing.T) {
+	items := dataset.Synthetic(2, 3000)
+	srv := NewServer(items, geo.UnitRect)
+	for _, agg := range []gnn.Aggregate{gnn.Sum, gnn.Max, gnn.Min} {
+		rng := rand.New(rand.NewSource(9))
+		g := testGroup(rng, 5)
+		g.Agg = agg
+		got, err := g.Query(srv, 8, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := (&gnn.BruteForce{Items: items, Agg: agg}).Search(g.Locations, 8)
+		for i := range want {
+			if got[i].Item.ID != want[i].Item.ID {
+				t.Fatalf("%v rank %d: got %d, want %d", agg, i, got[i].Item.ID, want[i].Item.ID)
+			}
+		}
+	}
+}
+
+// Every incremental round's candidate set must contain the true next-best
+// unreceived POI (the invariant behind the exactness proof).
+func TestIncrementalRoundsCoverTruth(t *testing.T) {
+	items := dataset.Synthetic(3, 2000)
+	srv := NewServer(items, geo.UnitRect)
+	rng := rand.New(rand.NewSource(4))
+	g := testGroup(rng, 3)
+	rects := make([]geo.Rect, 3)
+	for i, p := range g.Locations {
+		rects[i] = g.cloak(p)
+	}
+	ses, err := srv.NewSession(rects, gnn.Sum, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 10
+	want := (&gnn.BruteForce{Items: items, Agg: gnn.Sum}).Search(g.Locations, k)
+	received := map[int64]bool{}
+	for round := 0; round < k; round++ {
+		for _, c := range ses.NextCandidates(nil) {
+			received[c.ID] = true
+		}
+		if !received[want[round].Item.ID] {
+			t.Fatalf("round %d: true rank-%d POI %d not yet received", round, round+1, want[round].Item.ID)
+		}
+	}
+}
+
+// The communication cost is dominated by the per-rank candidate streams —
+// far larger than k POIs, and growing with k (the Figure 8a effect).
+func TestCandidateStreamIsLarge(t *testing.T) {
+	items := dataset.Sequoia(dataset.DefaultSeed)
+	srv := NewServer(items, geo.UnitRect)
+	measure := func(k int) int64 {
+		rng := rand.New(rand.NewSource(3))
+		g := testGroup(rng, 8)
+		var m cost.Meter
+		res, err := g.Query(srv, k, &m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != k {
+			t.Fatalf("filtered answer %d, want %d", len(res), k)
+		}
+		return m.Snapshot().Ops["ippf-candidates"]
+	}
+	c2, c16 := measure(2), measure(16)
+	if c2 < 16 {
+		t.Fatalf("k=2 candidates = %d; superset effect missing", c2)
+	}
+	if c16 < 3*c2 {
+		t.Fatalf("candidates did not grow with k: k=2→%d, k=16→%d", c2, c16)
+	}
+}
+
+func TestCloakContainsUser(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := testGroup(rng, 1)
+	for i := 0; i < 200; i++ {
+		p := geo.Point{X: rng.Float64(), Y: rng.Float64()}
+		r := g.cloak(p)
+		if !r.Contains(p) {
+			t.Fatalf("cloak %v does not contain %v", r, p)
+		}
+		if !geo.UnitRect.ContainsRect(r) {
+			t.Fatalf("cloak %v leaves the space", r)
+		}
+	}
+}
+
+func TestCloakCornerCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := testGroup(rng, 1)
+	for _, p := range []geo.Point{{X: 0, Y: 0}, {X: 1, Y: 1}, {X: 0, Y: 1}, {X: 1, Y: 0}} {
+		r := g.cloak(p)
+		if !r.Contains(p) {
+			t.Fatalf("corner cloak %v does not contain %v", r, p)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	srv := NewServer(dataset.Synthetic(6, 100), geo.UnitRect)
+	if _, err := srv.NewSession(nil, gnn.Sum, nil); err == nil {
+		t.Error("empty rects accepted")
+	}
+	bad := []geo.Rect{{Min: geo.Point{X: 0.5, Y: 0.5}, Max: geo.Point{X: 0.1, Y: 0.1}}}
+	if _, err := srv.NewSession(bad, gnn.Sum, nil); err == nil {
+		t.Error("invalid rect accepted")
+	}
+	g := testGroup(rand.New(rand.NewSource(1)), 2)
+	if _, err := g.Query(srv, 0, nil); err == nil {
+		t.Error("k=0 accepted")
+	}
+	empty := &Group{Agg: gnn.Sum, Space: geo.UnitRect, Rng: rand.New(rand.NewSource(2))}
+	if _, err := empty.Query(srv, 3, nil); err == nil {
+		t.Error("empty group accepted")
+	}
+}
+
+// Degenerate rectangles (points) make the bounds tight, so each round
+// returns very few candidates.
+func TestPointRectangles(t *testing.T) {
+	items := dataset.Synthetic(7, 2000)
+	srv := NewServer(items, geo.UnitRect)
+	locs := []geo.Point{{X: 0.4, Y: 0.4}, {X: 0.6, Y: 0.6}}
+	rects := []geo.Rect{{Min: locs[0], Max: locs[0]}, {Min: locs[1], Max: locs[1]}}
+	ses, err := srv.NewSession(rects, gnn.Sum, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for round := 0; round < 4; round++ {
+		total += len(ses.NextCandidates(nil))
+	}
+	if total < 4 {
+		t.Fatalf("%d candidates < k", total)
+	}
+	if total > 20 {
+		t.Fatalf("point rectangles produced %d candidates; pruning broken", total)
+	}
+}
+
+// Exhausting the database terminates cleanly.
+func TestSmallDatabaseExhaustion(t *testing.T) {
+	items := dataset.Synthetic(8, 5)
+	srv := NewServer(items, geo.UnitRect)
+	rng := rand.New(rand.NewSource(9))
+	g := testGroup(rng, 2)
+	res, err := g.Query(srv, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 {
+		t.Fatalf("got %d results from a 5-POI database", len(res))
+	}
+}
+
+func BenchmarkIPPFQuery(b *testing.B) {
+	items := dataset.Sequoia(dataset.DefaultSeed)
+	srv := NewServer(items, geo.UnitRect)
+	rng := rand.New(rand.NewSource(1))
+	g := testGroup(rng, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Query(srv, 8, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

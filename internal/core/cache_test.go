@@ -1,0 +1,196 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ppgnn/internal/attack"
+	"ppgnn/internal/geo"
+)
+
+// CacheSets: repeated queries present the LSP with identical location sets
+// (defeating the multi-query intersection attack of internal/attack), yet
+// the encrypted indicators are fresh and answers stay correct.
+func TestCacheSetsStableAcrossQueries(t *testing.T) {
+	lsp := testLSP(1000)
+	for _, variant := range []Variant{VariantPPGNN, VariantNaive} {
+		p := testParams(3, variant)
+		p.NoSanitize = true
+		locs := randomLocations(rand.New(rand.NewSource(1)), 3)
+		g, err := NewGroup(p, locs, rand.New(rand.NewSource(2)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.CacheSets = true
+
+		var observedSets [][]geo.Point
+		var firstV []string
+		var answers [][]geo.Point
+		for q := 0; q < 4; q++ {
+			msg, lms, err := g.BuildQuery(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			observedSets = append(observedSets, append([]geo.Point(nil), lms[0].Set...))
+			// Indicator ciphertexts must be fresh every query.
+			var vs []string
+			for _, c := range msg.V {
+				vs = append(vs, c.String())
+			}
+			if firstV == nil {
+				firstV = vs
+			} else {
+				same := true
+				for i := range vs {
+					if vs[i] != firstV[i] {
+						same = false
+						break
+					}
+				}
+				if same {
+					t.Fatalf("%v: indicator ciphertexts repeated across queries", variant)
+				}
+			}
+			ans, err := lsp.Process(msg, lms, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			recs, err := g.DecryptAnswer(ans, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pts := make([]geo.Point, len(recs))
+			for i, r := range recs {
+				pts[i] = r.Point(p.Space)
+			}
+			answers = append(answers, pts)
+		}
+		// All observed sets identical → intersection attack learns nothing
+		// beyond the original d-anonymity.
+		surv := attack.Intersection(observedSets, 1e-9)
+		wantD := p.D
+		if variant == VariantNaive {
+			wantD = p.Delta
+		}
+		if len(surv) != wantD {
+			t.Fatalf("%v: intersection left %d candidates, want full anonymity %d", variant, len(surv), wantD)
+		}
+		// Answers identical across queries (same real query, same database).
+		for q := 1; q < len(answers); q++ {
+			if len(answers[q]) != len(answers[0]) {
+				t.Fatalf("%v: answer %d length changed", variant, q)
+			}
+			for i := range answers[q] {
+				if answers[q][i] != answers[0][i] {
+					t.Fatalf("%v: answer %d differs at rank %d", variant, q, i)
+				}
+			}
+		}
+	}
+}
+
+// Without caching, fresh dummies leak: the intersection shrinks toward the
+// real location (the attack the cache defends against).
+func TestNoCacheLeaksUnderIntersection(t *testing.T) {
+	p := testParams(2, VariantPPGNN)
+	locs := randomLocations(rand.New(rand.NewSource(3)), 2)
+	g, err := NewGroup(p, locs, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var observed [][]geo.Point
+	for q := 0; q < 5; q++ {
+		_, lms, err := g.BuildQuery(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		observed = append(observed, append([]geo.Point(nil), lms[0].Set...))
+	}
+	surv := attack.Intersection(observed, 1e-9)
+	if len(surv) != 1 || surv[0] != locs[0] {
+		t.Fatalf("expected the intersection attack to isolate the real location, got %v", surv)
+	}
+}
+
+func TestInvalidateCache(t *testing.T) {
+	p := testParams(2, VariantPPGNN)
+	locs := randomLocations(rand.New(rand.NewSource(5)), 2)
+	g, err := NewGroup(p, locs, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.CacheSets = true
+	_, first, err := g.BuildQuery(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.InvalidateCache()
+	_, second, err := g.BuildQuery(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range first[0].Set {
+		if first[0].Set[i] != second[0].Set[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("InvalidateCache did not refresh the location sets")
+	}
+}
+
+// Rerandomized answers decrypt identically but differ as ciphertexts across
+// runs of the same query.
+func TestLSPRerandomize(t *testing.T) {
+	lsp := testLSP(800)
+	lsp.Rerandomize = true
+	p := testParams(2, VariantPPGNN)
+	p.NoSanitize = true
+	locs := randomLocations(rand.New(rand.NewSource(7)), 2)
+	g, err := NewGroup(p, locs, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.CacheSets = true
+	msg, lms, err := g.BuildQuery(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := lsp.Process(msg, lms, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := lsp.Process(msg, lms, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Cts[0].Cmp(a2.Cts[0]) == 0 {
+		t.Fatal("rerandomization did not change the answer ciphertext")
+	}
+	r1, err := g.DecryptAnswer(a1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := g.DecryptAnswer(a2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1) != len(r2) {
+		t.Fatal("rerandomized answers decode differently")
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("rerandomized answer differs at %d", i)
+		}
+	}
+	// Control: without rerandomization the same query yields the same
+	// ciphertext (the deterministic-selection linkability being defended).
+	lsp.Rerandomize = false
+	b1, _ := lsp.Process(msg, lms, nil)
+	b2, _ := lsp.Process(msg, lms, nil)
+	if b1.Cts[0].Cmp(b2.Cts[0]) != 0 {
+		t.Fatal("deterministic selection expected identical ciphertexts")
+	}
+}

@@ -1,0 +1,381 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"ppgnn/internal/cost"
+	"ppgnn/internal/encode"
+	"ppgnn/internal/geo"
+	"ppgnn/internal/gnn"
+	"ppgnn/internal/paillier"
+	"ppgnn/internal/partition"
+	"ppgnn/internal/rtree"
+	"ppgnn/internal/sanitize"
+)
+
+// SearchFunc is the black-box group query engine (paper Section 1: "it
+// treats the query answering as a black box"): anything mapping query
+// locations to a ranked POI list can serve, including non-kGNN queries.
+type SearchFunc func(query []geo.Point, k int, agg gnn.Aggregate) []gnn.Result
+
+// LSP is the location-based service provider: it owns the POI database and
+// processes privacy-preserving queries (Algorithm 2). An LSP is safe for
+// concurrent use.
+type LSP struct {
+	Space geo.Rect
+	// Search answers plaintext group queries; defaults to MBM over the
+	// R-tree built by NewLSP.
+	Search SearchFunc
+	// Workers bounds the candidate-query parallelism (1 = sequential,
+	// matching the paper's single-threaded LSP cost accounting; 0 = 1).
+	Workers int
+	// SanitizeSeed makes the Monte-Carlo sanitation reproducible; each
+	// candidate query derives its own stream from it.
+	SanitizeSeed int64
+	// MaxCandidates bounds δ' (default DefaultMaxCandidates): a hostile
+	// coordinator could otherwise submit partition parameters implying
+	// billions of candidate queries and stall the LSP.
+	MaxCandidates int
+	// Rerandomize refreshes the randomness of every answer ciphertext with
+	// a homomorphic zero before returning it. The private selection's
+	// output randomness is a deterministic function of the indicator
+	// ciphertexts and the plaintext matrix; rerandomizing makes the answer
+	// unlinkable to them (defense in depth — Privacy III needs only the
+	// selection itself).
+	Rerandomize bool
+
+	tree *rtree.Tree
+}
+
+// DefaultMaxCandidates caps δ' per query (Privacy II rarely needs more
+// than a few hundred; the paper's maximum is δ'≈200).
+const DefaultMaxCandidates = 65536
+
+// NewLSP builds an LSP over the POI database, indexed with an R-tree.
+func NewLSP(items []rtree.Item, space geo.Rect) *LSP {
+	tree := rtree.Bulk(items, rtree.DefaultMaxEntries)
+	l := &LSP{Space: space, tree: tree, SanitizeSeed: 1}
+	l.Search = func(query []geo.Point, k int, agg gnn.Aggregate) []gnn.Result {
+		return (&gnn.MBM{Tree: tree, Agg: agg}).Search(query, k)
+	}
+	return l
+}
+
+// Tree exposes the POI index (used by baselines sharing the database).
+func (l *LSP) Tree() *rtree.Tree { return l.tree }
+
+// Insert adds a POI to the live database — the dynamic-database capability
+// the paper contrasts against precomputation-based schemes.
+func (l *LSP) Insert(it rtree.Item) { l.tree.Insert(it) }
+
+// Delete removes a POI from the live database.
+func (l *LSP) Delete(it rtree.Item) bool { return l.tree.Delete(it) }
+
+// Process runs Algorithm 2: candidate query generation, per-candidate kGNN
+// + answer sanitation, answer encoding, and the homomorphic private
+// selection. The meter (may be nil) accumulates the LSP computational cost
+// and operation counts.
+func (l *LSP) Process(q *QueryMsg, locs []*LocationMsg, meter *cost.Meter) (ans *AnswerMsg, err error) {
+	start := nowFunc()
+	defer func() { meter.AddTime(cost.LSP, nowFunc().Sub(start)) }()
+
+	if err := l.validateQuery(q, locs); err != nil {
+		return nil, err
+	}
+	n := len(locs)
+	pk := paillier.NewPublicKey(q.PK)
+
+	// Reassemble the location sets in user order: LSP reconstructs
+	// subgroups from the user IDs (Section 4.2).
+	ordered := make([][]geo.Point, n)
+	for _, lm := range locs {
+		ordered[lm.UserID] = lm.Set
+	}
+
+	// Candidate query list.
+	candidates, err := l.candidates(q, ordered)
+	if err != nil {
+		return nil, err
+	}
+	maxCand := l.MaxCandidates
+	if maxCand <= 0 {
+		maxCand = DefaultMaxCandidates
+	}
+	if len(candidates) > maxCand {
+		return nil, fmt.Errorf("core: query implies %d candidate queries, above this LSP's limit %d", len(candidates), maxCand)
+	}
+	meter.CountOp("candidates", int64(len(candidates)))
+
+	// Per-candidate: kGNN (line 3), sanitation (line 4), encoding (line 5).
+	codec := encode.Codec{ModulusBits: q.PK.BitLen(), IncludeID: q.Include}
+	sanCfg := sanitize.Config{
+		Theta0: q.Theta0, Gamma: q.Gamma, Eta: q.Eta, Phi: q.Phi,
+		Space: l.Space, Agg: q.Agg,
+	}
+	encoded := make([][]*big.Int, len(candidates))
+	var wg sync.WaitGroup
+	workers := l.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	var procErr error
+	var errMu sync.Mutex
+	for t := range candidates {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(t int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res := l.Search(candidates[t], q.K, q.Agg)
+			if q.Sanitize && n > 1 {
+				rng := rand.New(rand.NewSource(l.SanitizeSeed + int64(t)))
+				res = sanCfg.Sanitize(rng, res, candidates[t])
+			}
+			records := make([]encode.Record, len(res))
+			for i, r := range res {
+				records[i] = encode.RecordOf(r.Item.ID, r.Item.P, l.Space)
+			}
+			ints := codec.Encode(records)
+			for _, v := range ints {
+				if v.Cmp(q.PK) >= 0 {
+					errMu.Lock()
+					if procErr == nil {
+						procErr = fmt.Errorf("core: encoded answer exceeds modulus")
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+			encoded[t] = ints
+		}(t)
+	}
+	wg.Wait()
+	if procErr != nil {
+		return nil, procErr
+	}
+	meter.CountOp("kgnn", int64(len(candidates)))
+	if q.Sanitize && n > 1 {
+		meter.CountOp("sanitize", int64(len(candidates)))
+	}
+
+	// Build the m × δ' answer matrix (line 6), padding answers to height m.
+	m := 0
+	for _, ints := range encoded {
+		if len(ints) > m {
+			m = len(ints)
+		}
+	}
+	for t := range encoded {
+		encoded[t] = encode.Pad(encoded[t], m)
+	}
+
+	// Private selection (line 7).
+	switch q.Variant {
+	case VariantOPT:
+		return l.selectTwoPhase(pk, q, encoded, m, meter)
+	default:
+		return l.selectSinglePhase(pk, q, encoded, m, meter)
+	}
+}
+
+// nowFunc is swappable in tests.
+var nowFunc = time.Now
+
+// validateQuery checks message consistency against the location sets.
+func (l *LSP) validateQuery(q *QueryMsg, locs []*LocationMsg) error {
+	if len(locs) == 0 {
+		return fmt.Errorf("core: no location sets")
+	}
+	if q.K < 1 {
+		return fmt.Errorf("core: k=%d < 1", q.K)
+	}
+	if q.PK == nil || q.PK.BitLen() < 128 {
+		return fmt.Errorf("core: missing or undersized public key")
+	}
+	n := len(locs)
+	seen := make([]bool, n)
+	d := len(locs[0].Set)
+	for _, lm := range locs {
+		if lm.UserID < 0 || lm.UserID >= n || seen[lm.UserID] {
+			return fmt.Errorf("core: bad or duplicate user id %d", lm.UserID)
+		}
+		seen[lm.UserID] = true
+		if len(lm.Set) != d {
+			return fmt.Errorf("core: user %d sent %d locations, others sent %d", lm.UserID, len(lm.Set), d)
+		}
+		for _, p := range lm.Set {
+			if !l.Space.Contains(p) {
+				return fmt.Errorf("core: user %d location %v outside service space", lm.UserID, p)
+			}
+		}
+	}
+	return nil
+}
+
+// candidates materializes the candidate query list for the query variant.
+func (l *LSP) candidates(q *QueryMsg, ordered [][]geo.Point) ([][]geo.Point, error) {
+	n := len(ordered)
+	d := len(ordered[0])
+	if q.Variant == VariantNaive {
+		// Column i across all users is candidate i.
+		if q.Delta != d {
+			return nil, fmt.Errorf("core: naive query: δ=%d but location sets have %d entries", q.Delta, d)
+		}
+		if len(q.V) != d {
+			return nil, fmt.Errorf("core: naive query: indicator length %d != δ=%d", len(q.V), d)
+		}
+		out := make([][]geo.Point, d)
+		for t := 0; t < d; t++ {
+			cand := make([]geo.Point, n)
+			for u := 0; u < n; u++ {
+				cand[u] = ordered[u][t]
+			}
+			out[t] = cand
+		}
+		return out, nil
+	}
+
+	deltaPrime := 0
+	alpha := len(q.NBar)
+	for _, di := range q.DBar {
+		deltaPrime += intPow(di, alpha)
+	}
+	params := partition.Params{
+		N: n, D: d, Delta: q.Delta,
+		Alpha: alpha, NBar: q.NBar, DBar: q.DBar,
+		DeltaPrime: deltaPrime,
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	switch q.Variant {
+	case VariantPPGNN:
+		if len(q.V) != deltaPrime {
+			return nil, fmt.Errorf("core: indicator length %d != δ'=%d", len(q.V), deltaPrime)
+		}
+	case VariantOPT:
+		omega := len(q.V2)
+		cols := len(q.V1)
+		if omega < 1 || cols < 1 || omega*cols < deltaPrime {
+			return nil, fmt.Errorf("core: OPT indicators cover %d < δ'=%d candidates", omega*cols, deltaPrime)
+		}
+	}
+	return params.Candidates(ordered)
+}
+
+func intPow(b, e int) int {
+	r := 1
+	for i := 0; i < e; i++ {
+		r *= b
+	}
+	return r
+}
+
+// selectSinglePhase computes A ⨂ [v] (Theorem 3.1) and returns m ε_1
+// ciphertexts.
+func (l *LSP) selectSinglePhase(pk *paillier.PublicKey, q *QueryMsg, encoded [][]*big.Int, m int, meter *cost.Meter) (*AnswerMsg, error) {
+	v := make([]*paillier.Ciphertext, len(q.V))
+	for i, c := range q.V {
+		v[i] = &paillier.Ciphertext{C: c, S: 1}
+	}
+	out := make([]*big.Int, m)
+	for i := 0; i < m; i++ {
+		row := make([]*big.Int, len(encoded))
+		for t := range encoded {
+			row[t] = encoded[t][i]
+		}
+		ct, err := pk.DotProduct(row, v)
+		if err != nil {
+			return nil, fmt.Errorf("core: private selection row %d: %w", i, err)
+		}
+		if l.Rerandomize {
+			if ct, err = pk.Rerandomize(nil, ct); err != nil {
+				return nil, fmt.Errorf("core: rerandomizing row %d: %w", i, err)
+			}
+		}
+		out[i] = ct.C
+	}
+	meter.CountOp("homomorphic-dot", int64(m))
+	return NewAnswerMsg(pk, 1, out), nil
+}
+
+// selectTwoPhase implements the two-phase private selection of Section 6:
+// phase 1 selects a column within every block with [v1] under ε_1; phase 2
+// selects the block with [[v2]] under ε_2, treating the phase-1 ε_1
+// ciphertexts as ε_2 plaintexts.
+func (l *LSP) selectTwoPhase(pk *paillier.PublicKey, q *QueryMsg, encoded [][]*big.Int, m int, meter *cost.Meter) (*AnswerMsg, error) {
+	omega := len(q.V2)
+	cols := len(q.V1)
+	v1 := make([]*paillier.Ciphertext, cols)
+	for i, c := range q.V1 {
+		v1[i] = &paillier.Ciphertext{C: c, S: 1}
+	}
+	v2 := make([]*paillier.Ciphertext, omega)
+	for i, c := range q.V2 {
+		v2[i] = &paillier.Ciphertext{C: c, S: 2}
+	}
+
+	// Pad the matrix with zero columns to ω·cols (the paper pads v with
+	// trailing 0s so that δ'/ω is an integer).
+	zero := make([]*big.Int, m)
+	for i := range zero {
+		zero[i] = new(big.Int)
+	}
+	for len(encoded) < omega*cols {
+		encoded = append(encoded, zero)
+	}
+
+	out := make([]*big.Int, m)
+	phase1 := make([]*big.Int, omega)
+	for i := 0; i < m; i++ {
+		for b := 0; b < omega; b++ {
+			row := make([]*big.Int, cols)
+			for c := 0; c < cols; c++ {
+				row[c] = encoded[b*cols+c][i]
+			}
+			ct, err := pk.DotProduct(row, v1)
+			if err != nil {
+				return nil, fmt.Errorf("core: phase-1 selection: %w", err)
+			}
+			phase1[b] = ct.C
+		}
+		ct, err := pk.DotProduct(phase1, v2)
+		if err != nil {
+			return nil, fmt.Errorf("core: phase-2 selection: %w", err)
+		}
+		if l.Rerandomize {
+			if ct, err = pk.Rerandomize(nil, ct); err != nil {
+				return nil, fmt.Errorf("core: rerandomizing answer: %w", err)
+			}
+		}
+		out[i] = ct.C
+	}
+	meter.CountOp("homomorphic-dot", int64(m*(omega+1)))
+	return NewAnswerMsg(pk, 2, out), nil
+}
+
+// OptimalOmega returns the ω minimizing the OPT communication cost (Eqn
+// 18): the nearest integer to √(δ'/2), clamped to [1, δ'].
+func OptimalOmega(deltaPrime int) int {
+	omega := int(math.Round(math.Sqrt(float64(deltaPrime) / 2)))
+	if omega < 1 {
+		omega = 1
+	}
+	if omega > deltaPrime {
+		omega = deltaPrime
+	}
+	return omega
+}
+
+// sortLocations orders location messages by user ID (stable input for
+// Process callers that collected them out of order).
+func sortLocations(locs []*LocationMsg) {
+	sort.Slice(locs, func(i, j int) bool { return locs[i].UserID < locs[j].UserID })
+}

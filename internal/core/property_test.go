@@ -1,0 +1,68 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ppgnn/internal/dummy"
+	"ppgnn/internal/gnn"
+)
+
+// TestProtocolExactnessRandomizedParams is the protocol-level property
+// test: across randomized (n, d, δ, k, F, variant, generator) settings,
+// the decrypted answer must equal the plaintext kGNN answer computed
+// directly on the real locations (sanitation off to make the reference
+// deterministic).
+func TestProtocolExactnessRandomizedParams(t *testing.T) {
+	lsp := testLSP(2500)
+	rng := rand.New(rand.NewSource(2024))
+	variants := []Variant{VariantPPGNN, VariantOPT, VariantNaive}
+	aggs := []gnn.Aggregate{gnn.Sum, gnn.Max, gnn.Min}
+	gens := []dummy.Generator{dummy.Uniform{}, dummy.GridSpread{}}
+
+	trials := 24
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := 1 + rng.Intn(6)
+		d := 3 + rng.Intn(6)
+		delta := d + rng.Intn(12)
+		if n == 1 {
+			delta = d
+		}
+		p := Params{
+			N: n, D: d, Delta: delta,
+			K:          1 + rng.Intn(10),
+			Theta0:     0.05,
+			KeyBits:    testKeyBits,
+			Agg:        aggs[rng.Intn(len(aggs))],
+			Variant:    variants[rng.Intn(len(variants))],
+			Space:      lsp.Space,
+			NoSanitize: true,
+		}
+		locs := randomLocations(rng, n)
+		g, err := NewGroup(p, locs, rng)
+		if err != nil {
+			// δ > d^n is a legitimate infeasibility; skip those draws.
+			if n >= 2 || delta == d {
+				t.Logf("trial %d: %v (params %+v)", trial, err, p)
+			}
+			continue
+		}
+		g.Gen = gens[rng.Intn(len(gens))]
+		res, err := g.Run(LocalService{LSP: lsp}, nil)
+		if err != nil {
+			t.Fatalf("trial %d (%+v): %v", trial, p, err)
+		}
+		want := plainAnswer(lsp, locs, p.K, p.Agg)
+		if len(res.Points) != len(want) {
+			t.Fatalf("trial %d (%+v): %d POIs, want %d", trial, p, len(res.Points), len(want))
+		}
+		for i := range want {
+			if res.Points[i].Dist(want[i].Item.P) > 1e-6 {
+				t.Fatalf("trial %d (%+v): rank %d mismatch", trial, p, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"time"
+
+	"ppgnn/internal/cost"
+	"ppgnn/internal/encode"
+	"ppgnn/internal/geo"
+	"ppgnn/internal/paillier"
+)
+
+// Threshold mode removes the protocol's residual trust point. In the base
+// protocol the coordinator alone holds the Paillier secret key, so u_c
+// decrypts the answer before anyone else and a compromised u_c could
+// decrypt arbitrary intercepted ciphertexts. With a (t, n)-threshold key
+// (Damgård–Jurik Section 4.1, internal/paillier/threshold.go), every user
+// holds one key share and any t of them must cooperate per decryption; the
+// LSP side of the protocol is completely unchanged — it only ever sees the
+// public modulus.
+
+// ThresholdGroup is a Group whose answer decryption requires T of the N
+// users to cooperate.
+type ThresholdGroup struct {
+	Group
+	TK     *paillier.ThresholdKey
+	Shares []*paillier.KeyShare // share i belongs to user i
+	T      int
+}
+
+// NewThresholdGroup builds a group with a (t, n)-threshold key. Key
+// generation uses safe primes and is noticeably slower than NewGroup
+// (recorded in KeygenTime). In deployment the dealer role is played by a
+// distributed key generation; here the coordinator deals and forgets.
+func NewThresholdGroup(p Params, locations []geo.Point, rng *rand.Rand, t int) (*ThresholdGroup, error) {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.N < 2 {
+		return nil, fmt.Errorf("core: threshold mode needs n ≥ 2, got %d", p.N)
+	}
+	if t < 2 || t > p.N {
+		return nil, fmt.Errorf("core: threshold t=%d outside [2,%d]", t, p.N)
+	}
+	sMax := 1
+	if p.Variant == VariantOPT {
+		sMax = 2
+	}
+	start := time.Now()
+	tk, shares, err := paillier.GenerateThresholdKey(nil, p.KeyBits, p.N, t, sMax)
+	if err != nil {
+		return nil, fmt.Errorf("core: threshold keygen: %w", err)
+	}
+	keygen := time.Since(start)
+
+	// Build the underlying group, then point its indicator encryption at
+	// the threshold modulus. (The base group's own key pair goes unused in
+	// threshold mode; it merely keeps the Group invariants intact.)
+	g, err := NewGroup(p, locations, rng)
+	if err != nil {
+		return nil, err
+	}
+	g.encOverride = &tk.PublicKey
+	tg := &ThresholdGroup{Group: *g, TK: tk, Shares: shares, T: t}
+	tg.KeygenTime = keygen
+	return tg, nil
+}
+
+// DecryptAnswer gathers T users' decryption shares for every answer
+// ciphertext and combines them; the share exchange is charged to the
+// intra-group channel. For the OPT variant the unwrapping runs twice
+// (ε₂ then ε₁), each time with a fresh share round.
+func (tg *ThresholdGroup) DecryptAnswer(ans *AnswerMsg, meter *cost.Meter) ([]encode.Record, error) {
+	start := time.Now()
+	defer func() { meter.AddTime(cost.Users, time.Since(start)) }()
+
+	wantDegree := 1
+	if tg.Params.Variant == VariantOPT {
+		wantDegree = 2
+	}
+	if ans.Degree != wantDegree {
+		return nil, fmt.Errorf("core: answer degree %d, want %d", ans.Degree, wantDegree)
+	}
+	kb := (tg.TK.N.BitLen() + 7) / 8
+
+	jointDecrypt := func(c *paillier.Ciphertext) (*big.Int, error) {
+		shares := make([]*paillier.DecryptionShare, 0, tg.T)
+		for _, ks := range tg.Shares[:tg.T] {
+			ds, err := tg.TK.PartialDecrypt(ks, c)
+			if err != nil {
+				return nil, err
+			}
+			// Each contributor sends its share to the coordinator.
+			meter.AddBytes(cost.IntraGroup, (c.S+1)*kb)
+			shares = append(shares, ds)
+		}
+		return tg.TK.Combine(shares)
+	}
+
+	ints := make([]*big.Int, len(ans.Cts))
+	for i, cval := range ans.Cts {
+		m, err := jointDecrypt(&paillier.Ciphertext{C: cval, S: ans.Degree})
+		if err != nil {
+			return nil, fmt.Errorf("core: joint decryption element %d: %w", i, err)
+		}
+		if ans.Degree == 2 {
+			// The ε₂ plaintext is itself an ε₁ ciphertext: second round.
+			if m, err = jointDecrypt(&paillier.Ciphertext{C: m, S: 1}); err != nil {
+				return nil, fmt.Errorf("core: joint inner decryption element %d: %w", i, err)
+			}
+		}
+		ints[i] = m
+	}
+	meter.CountOp("threshold-dec", int64(len(ints)*tg.T))
+
+	codec := encode.Codec{ModulusBits: tg.TK.N.BitLen(), IncludeID: tg.Params.IncludeIDs}
+	records, err := codec.Decode(ints)
+	if err != nil {
+		return nil, fmt.Errorf("core: decoding answer: %w", err)
+	}
+	if tg.Params.N > 1 {
+		recBytes := 8
+		if tg.Params.IncludeIDs {
+			recBytes = 16
+		}
+		meter.AddBytes(cost.IntraGroup, (tg.Params.N-1)*(1+len(records)*recBytes))
+	}
+	return records, nil
+}
+
+// Run executes a full threshold-mode round trip.
+func (tg *ThresholdGroup) Run(svc Service, meter *cost.Meter) (*Result, error) {
+	q, locs, err := tg.BuildQuery(meter)
+	if err != nil {
+		return nil, err
+	}
+	meter.AddBytes(cost.UserToLSP, len(q.Marshal()))
+	for _, lm := range locs {
+		meter.AddBytes(cost.UserToLSP, len(lm.Marshal()))
+	}
+	ans, err := svc.Process(q, locs)
+	if err != nil {
+		return nil, err
+	}
+	meter.AddBytes(cost.LSPToUser, len(ans.Marshal()))
+	records, err := tg.DecryptAnswer(ans, meter)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Records: records, Points: make([]geo.Point, len(records))}
+	for i, r := range records {
+		res.Points[i] = r.Point(tg.Params.Space)
+	}
+	return res, nil
+}

@@ -1,0 +1,250 @@
+// Package cost implements the measurement substrate for the three metrics
+// of the paper's evaluation (Section 8.1): total communication cost in
+// bytes (split by channel: users↔LSP and within the user group), total
+// user computational cost, and LSP computational cost. A Meter is threaded
+// through a protocol run; Snapshot freezes the totals for reporting.
+package cost
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Channel identifies a communication edge of the system model (Section 2):
+// users talk to the LSP through the base station, and to each other for the
+// coordinator broadcasts.
+type Channel int
+
+const (
+	// UserToLSP covers query, indicator vectors, and location sets.
+	UserToLSP Channel = iota
+	// LSPToUser covers the encrypted answer.
+	LSPToUser
+	// IntraGroup covers coordinator broadcasts (positions, final answer)
+	// and, in the GLP baseline, the O(n²) secure-sum shares.
+	IntraGroup
+	numChannels
+)
+
+// String implements fmt.Stringer.
+func (c Channel) String() string {
+	switch c {
+	case UserToLSP:
+		return "user→LSP"
+	case LSPToUser:
+		return "LSP→user"
+	case IntraGroup:
+		return "intra-group"
+	default:
+		return fmt.Sprintf("Channel(%d)", int(c))
+	}
+}
+
+// Party attributes computation time.
+type Party int
+
+const (
+	// Users is the summed computational cost of all users including the
+	// coordinator (the paper's "user cost").
+	Users Party = iota
+	// LSP is the provider's computational cost.
+	LSP
+	numParties
+)
+
+// String implements fmt.Stringer.
+func (p Party) String() string {
+	switch p {
+	case Users:
+		return "users"
+	case LSP:
+		return "LSP"
+	default:
+		return fmt.Sprintf("Party(%d)", int(p))
+	}
+}
+
+// Meter accumulates bytes, time, and operation counts. The zero value is
+// ready to use and safe for concurrent use. A nil *Meter is a valid no-op
+// sink, so instrumented code never needs nil checks.
+type Meter struct {
+	mu    sync.Mutex
+	bytes [numChannels]int64
+	times [numParties]time.Duration
+	ops   map[string]int64
+}
+
+// AddBytes records n bytes sent on the channel.
+func (m *Meter) AddBytes(ch Channel, n int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.bytes[ch] += int64(n)
+	m.mu.Unlock()
+}
+
+// AddTime attributes a duration to a party.
+func (m *Meter) AddTime(p Party, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.times[p] += d
+	m.mu.Unlock()
+}
+
+// Time runs fn and attributes its wall time to the party.
+func (m *Meter) Time(p Party, fn func()) {
+	start := time.Now()
+	fn()
+	m.AddTime(p, time.Since(start))
+}
+
+// CountOp increments a named operation counter (e.g. "enc1", "kgnn",
+// "sanitize-sample") by n.
+func (m *Meter) CountOp(name string, n int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if m.ops == nil {
+		m.ops = make(map[string]int64)
+	}
+	m.ops[name] += n
+	m.mu.Unlock()
+}
+
+// Snapshot freezes the current totals.
+func (m *Meter) Snapshot() Snapshot {
+	if m == nil {
+		return Snapshot{}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		UserToLSPBytes:  m.bytes[UserToLSP],
+		LSPToUserBytes:  m.bytes[LSPToUser],
+		IntraGroupBytes: m.bytes[IntraGroup],
+		UserTime:        m.times[Users],
+		LSPTime:         m.times[LSP],
+	}
+	if len(m.ops) > 0 {
+		s.Ops = make(map[string]int64, len(m.ops))
+		for k, v := range m.ops {
+			s.Ops[k] = v
+		}
+	}
+	return s
+}
+
+// Reset zeroes all counters.
+func (m *Meter) Reset() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.bytes = [numChannels]int64{}
+	m.times = [numParties]time.Duration{}
+	m.ops = nil
+	m.mu.Unlock()
+}
+
+// Snapshot is an immutable view of a Meter.
+type Snapshot struct {
+	UserToLSPBytes  int64
+	LSPToUserBytes  int64
+	IntraGroupBytes int64
+	UserTime        time.Duration
+	LSPTime         time.Duration
+	Ops             map[string]int64
+}
+
+// TotalBytes is the paper's "communication cost": all channels combined.
+func (s Snapshot) TotalBytes() int64 {
+	return s.UserToLSPBytes + s.LSPToUserBytes + s.IntraGroupBytes
+}
+
+// Add returns the component-wise sum of two snapshots (used to average
+// repeated queries).
+func (s Snapshot) Add(o Snapshot) Snapshot {
+	out := Snapshot{
+		UserToLSPBytes:  s.UserToLSPBytes + o.UserToLSPBytes,
+		LSPToUserBytes:  s.LSPToUserBytes + o.LSPToUserBytes,
+		IntraGroupBytes: s.IntraGroupBytes + o.IntraGroupBytes,
+		UserTime:        s.UserTime + o.UserTime,
+		LSPTime:         s.LSPTime + o.LSPTime,
+	}
+	if len(s.Ops) > 0 || len(o.Ops) > 0 {
+		out.Ops = make(map[string]int64, len(s.Ops)+len(o.Ops))
+		for k, v := range s.Ops {
+			out.Ops[k] += v
+		}
+		for k, v := range o.Ops {
+			out.Ops[k] += v
+		}
+	}
+	return out
+}
+
+// Scale divides every quantity by n (for per-query averages). n must be
+// positive.
+func (s Snapshot) Scale(n int) Snapshot {
+	if n <= 0 {
+		panic("cost: Scale by non-positive count")
+	}
+	out := Snapshot{
+		UserToLSPBytes:  s.UserToLSPBytes / int64(n),
+		LSPToUserBytes:  s.LSPToUserBytes / int64(n),
+		IntraGroupBytes: s.IntraGroupBytes / int64(n),
+		UserTime:        s.UserTime / time.Duration(n),
+		LSPTime:         s.LSPTime / time.Duration(n),
+	}
+	if len(s.Ops) > 0 {
+		out.Ops = make(map[string]int64, len(s.Ops))
+		for k, v := range s.Ops {
+			out.Ops[k] = v / int64(n)
+		}
+	}
+	return out
+}
+
+// String renders a compact human-readable summary.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "comm=%s (u→l %s, l→u %s, intra %s) user=%v lsp=%v",
+		FormatBytes(s.TotalBytes()), FormatBytes(s.UserToLSPBytes),
+		FormatBytes(s.LSPToUserBytes), FormatBytes(s.IntraGroupBytes),
+		s.UserTime.Round(time.Microsecond), s.LSPTime.Round(time.Microsecond))
+	if len(s.Ops) > 0 {
+		keys := make([]string, 0, len(s.Ops))
+		for k := range s.Ops {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString(" ops={")
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s:%d", k, s.Ops[k])
+		}
+		b.WriteString("}")
+	}
+	return b.String()
+}
+
+// FormatBytes renders a byte count with a binary unit suffix.
+func FormatBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,54 @@
+package cost
+
+import (
+	"fmt"
+	"time"
+)
+
+// NetworkModel translates measured byte counts into user-perceived
+// transfer time for a given link technology. The paper's motivation is the
+// mobile scenario — "the communication bandwidth being precious" — and
+// this model makes the trade-offs concrete: e.g. at 3G uplink rates the
+// O(δ') indicator vector of plain PPGNN costs seconds where PPGNN-OPT's
+// O(√δ') costs tenths (see cmd/ppgnn-experiments -exp mobile).
+type NetworkModel struct {
+	Name  string
+	Up    int64         // uplink bytes/second (user → LSP)
+	Down  int64         // downlink bytes/second (LSP → user)
+	Local int64         // intra-group bytes/second (e.g. Bluetooth/WiFi Direct)
+	RTT   time.Duration // one round-trip latency, charged once per query
+}
+
+// Link presets (order-of-magnitude figures for the paper's 2018 mobile
+// setting).
+var (
+	ThreeG = NetworkModel{Name: "3G", Up: 250_000, Down: 1_000_000, Local: 250_000, RTT: 200 * time.Millisecond}
+	FourG  = NetworkModel{Name: "4G", Up: 2_000_000, Down: 10_000_000, Local: 2_000_000, RTT: 60 * time.Millisecond}
+	WiFi   = NetworkModel{Name: "WiFi", Up: 10_000_000, Down: 30_000_000, Local: 10_000_000, RTT: 10 * time.Millisecond}
+)
+
+// Validate reports malformed models.
+func (n NetworkModel) Validate() error {
+	if n.Up <= 0 || n.Down <= 0 || n.Local <= 0 {
+		return fmt.Errorf("cost: network model %q has non-positive bandwidth", n.Name)
+	}
+	return nil
+}
+
+// TransferTime estimates the wall time the snapshot's traffic occupies on
+// this link (serialized transfer plus one RTT).
+func (n NetworkModel) TransferTime(s Snapshot) time.Duration {
+	if err := n.Validate(); err != nil {
+		panic(err)
+	}
+	secs := float64(s.UserToLSPBytes)/float64(n.Up) +
+		float64(s.LSPToUserBytes)/float64(n.Down) +
+		float64(s.IntraGroupBytes)/float64(n.Local)
+	return n.RTT + time.Duration(secs*float64(time.Second))
+}
+
+// EndToEnd estimates the total user-perceived query latency: computation
+// on both sides plus the link transfer time.
+func (n NetworkModel) EndToEnd(s Snapshot) time.Duration {
+	return s.UserTime + s.LSPTime + n.TransferTime(s)
+}

@@ -1,0 +1,169 @@
+// Package dataset provides the POI databases the experiments run on.
+//
+// The paper evaluates on the Sequoia dataset (62,556 POIs from California,
+// chorochronos.org), normalized to a square space. That file is not
+// redistributable here, so Sequoia() generates a deterministic synthetic
+// substitute with the same cardinality and a comparable spatial character:
+// a Gaussian-mixture of urban clusters over the unit square plus a uniform
+// rural background. The evaluation's measured quantities (crypto and
+// communication costs, sanitation sampling, candidate-query counts) depend
+// only on the POI count and broad clustering, so the substitution preserves
+// the reported behaviour; Load() accepts the real file when available.
+// See DESIGN.md §5 (Substitutions).
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"ppgnn/internal/geo"
+	"ppgnn/internal/rtree"
+)
+
+// SequoiaSize is the POI count of the Sequoia California dataset used in
+// Section 8.1.
+const SequoiaSize = 62556
+
+// DefaultSeed makes Sequoia() reproducible across runs and machines.
+const DefaultSeed = 20180326 // EDBT 2018 opening day
+
+// Sequoia returns the synthetic Sequoia-substitute: SequoiaSize POIs in the
+// unit square, deterministic for a given seed.
+func Sequoia(seed int64) []rtree.Item {
+	return Synthetic(seed, SequoiaSize)
+}
+
+// Synthetic generates n clustered POIs in the unit square: 75% drawn from a
+// mixture of 48 Gaussian "urban" clusters, 25% uniform background.
+func Synthetic(seed int64, n int) []rtree.Item {
+	rng := rand.New(rand.NewSource(seed))
+	const clusters = 48
+	type cluster struct {
+		center geo.Point
+		sigma  float64
+		weight float64
+	}
+	cs := make([]cluster, clusters)
+	totalW := 0.0
+	for i := range cs {
+		cs[i] = cluster{
+			center: geo.Point{X: rng.Float64(), Y: rng.Float64()},
+			sigma:  0.005 + rng.Float64()*0.04,
+			weight: 0.2 + rng.Float64(), // some clusters are denser "cities"
+		}
+		totalW += cs[i].weight
+	}
+	items := make([]rtree.Item, n)
+	for i := 0; i < n; i++ {
+		var p geo.Point
+		if rng.Float64() < 0.25 {
+			p = geo.Point{X: rng.Float64(), Y: rng.Float64()}
+		} else {
+			// Pick a cluster proportionally to weight.
+			w := rng.Float64() * totalW
+			ci := 0
+			for ; ci < clusters-1; ci++ {
+				if w < cs[ci].weight {
+					break
+				}
+				w -= cs[ci].weight
+			}
+			c := cs[ci]
+			p = geo.Point{
+				X: c.center.X + rng.NormFloat64()*c.sigma,
+				Y: c.center.Y + rng.NormFloat64()*c.sigma,
+			}
+			p = geo.UnitRect.Clamp(p)
+		}
+		items[i] = rtree.Item{ID: int64(i), P: p}
+	}
+	return items
+}
+
+// Load reads a whitespace-separated point file (one "x y" pair per line,
+// '#' comments and blank lines ignored) and normalizes the points into the
+// unit square. This accepts the real Sequoia file when it is available.
+func Load(r io.Reader) ([]rtree.Item, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var pts []geo.Point
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("dataset: line %d: want at least 2 fields, got %d", line, len(fields))
+		}
+		x, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		y, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		pts = append(pts, geo.Point{X: x, Y: y})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: reading: %w", err)
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("dataset: no points found")
+	}
+	return Normalize(pts), nil
+}
+
+// LoadFile is Load over a file path.
+func LoadFile(path string) ([]rtree.Item, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Normalize maps points into the unit square, preserving the aspect ratio
+// by scaling both axes with the larger extent (as in the paper: "the
+// location space is normalized into a square space").
+func Normalize(pts []geo.Point) []rtree.Item {
+	bounds := geo.RectOf(pts...)
+	scale := bounds.Width()
+	if bounds.Height() > scale {
+		scale = bounds.Height()
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	items := make([]rtree.Item, len(pts))
+	for i, p := range pts {
+		items[i] = rtree.Item{
+			ID: int64(i),
+			P: geo.Point{
+				X: (p.X - bounds.Min.X) / scale,
+				Y: (p.Y - bounds.Min.Y) / scale,
+			},
+		}
+	}
+	return items
+}
+
+// Save writes items in the text format Load reads.
+func Save(w io.Writer, items []rtree.Item) error {
+	bw := bufio.NewWriter(w)
+	for _, it := range items {
+		if _, err := fmt.Fprintf(bw, "%.9f %.9f\n", it.P.X, it.P.Y); err != nil {
+			return fmt.Errorf("dataset: writing: %w", err)
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,143 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ppgnn/internal/geo"
+)
+
+func TestSequoiaSizeAndBounds(t *testing.T) {
+	items := Sequoia(DefaultSeed)
+	if len(items) != SequoiaSize {
+		t.Fatalf("len = %d, want %d", len(items), SequoiaSize)
+	}
+	for _, it := range items {
+		if !geo.UnitRect.Contains(it.P) {
+			t.Fatalf("POI %d at %v outside unit square", it.ID, it.P)
+		}
+	}
+	// IDs must be unique and dense.
+	seen := make([]bool, len(items))
+	for _, it := range items {
+		if it.ID < 0 || it.ID >= int64(len(items)) || seen[it.ID] {
+			t.Fatalf("bad or duplicate ID %d", it.ID)
+		}
+		seen[it.ID] = true
+	}
+}
+
+func TestSequoiaDeterministic(t *testing.T) {
+	a := Synthetic(7, 500)
+	b := Synthetic(7, 500)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("not deterministic at %d", i)
+		}
+	}
+	c := Synthetic(8, 500)
+	same := 0
+	for i := range a {
+		if a[i].P == c[i].P {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestSyntheticClustered(t *testing.T) {
+	// A clustered distribution has markedly uneven cell occupancy compared
+	// to uniform: measure the max/mean ratio over a 20×20 grid.
+	items := Synthetic(1, 20000)
+	const g = 20
+	var cells [g * g]int
+	for _, it := range items {
+		x := int(it.P.X * g)
+		y := int(it.P.Y * g)
+		if x == g {
+			x--
+		}
+		if y == g {
+			y--
+		}
+		cells[y*g+x]++
+	}
+	maxC := 0
+	for _, c := range cells {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	mean := float64(len(items)) / (g * g)
+	if ratio := float64(maxC) / mean; ratio < 3 {
+		t.Fatalf("max/mean cell occupancy %.2f; data not clustered", ratio)
+	}
+}
+
+func TestLoadAndNormalize(t *testing.T) {
+	in := `# Sequoia-format points
+	 100.0 200.0
+	 300.0 200.0
+
+	 100.0 300.0
+	`
+	items, err := Load(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 3 {
+		t.Fatalf("loaded %d points", len(items))
+	}
+	// Width 200 > height 100, so scale = 200.
+	want := []geo.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 0.5}}
+	for i, w := range want {
+		if items[i].P != w {
+			t.Fatalf("point %d = %v, want %v", i, items[i].P, w)
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Load(strings.NewReader("1.0\n")); err == nil {
+		t.Error("single-field line accepted")
+	}
+	if _, err := Load(strings.NewReader("a b\n")); err == nil {
+		t.Error("non-numeric accepted")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	items := Synthetic(3, 100)
+	var buf bytes.Buffer
+	if err := Save(&buf, items); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(items) {
+		t.Fatalf("roundtrip length %d", len(back))
+	}
+	// Items are already normalized, Load re-normalizes; points within the
+	// unit square survive up to the written precision and re-scaling.
+	for i := range back {
+		if back[i].P.Dist(items[i].P) > 0.01 {
+			t.Fatalf("point %d drifted: %v vs %v", i, back[i].P, items[i].P)
+		}
+	}
+}
+
+func TestNormalizeDegenerate(t *testing.T) {
+	// A single point must not divide by zero.
+	items := Normalize([]geo.Point{{X: 5, Y: 5}})
+	if items[0].P != (geo.Point{X: 0, Y: 0}) {
+		t.Fatalf("degenerate normalize = %v", items[0].P)
+	}
+}

@@ -1,0 +1,193 @@
+// Package encode packs ranked POI answers into big integers smaller than
+// the Paillier modulus N, as required by the answer matrix A of Theorem
+// 3.1 ("each query answer is represented by a vector of integers such that
+// every element is less than N").
+//
+// Layout: the answer is a stream of 64-bit slots — slot 0 holds the record
+// count, then each POI record follows (one slot for quantized coordinates,
+// or two when IDs are included). Slots are packed little-endian into
+// integers of ⌊(|N|−1)/64⌋ slots each, so every integer is strictly below
+// 2^(|N|−1) < N. With a 1024-bit modulus this gives 15 POI slots per big
+// integer, matching the paper's "15 POIs information can be encoded by a
+// big integer" and the staged growth of Figure 5d.
+//
+// Coordinates are quantized to 32 bits per axis over the location space
+// (8 bytes per POI, the answer size used in Section 8.1).
+package encode
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+
+	"ppgnn/internal/geo"
+)
+
+// SlotBits is the width of one slot in the packed stream.
+const SlotBits = 64
+
+// Record is one POI of an answer: 32-bit quantized coordinates plus an
+// optional database identifier.
+type Record struct {
+	ID   uint64 // used only when the codec includes IDs
+	X, Y uint32 // coordinates quantized over the location space
+}
+
+// Quantize maps a point in space to 32-bit grid coordinates.
+func Quantize(p geo.Point, space geo.Rect) (x, y uint32) {
+	fx := (p.X - space.Min.X) / space.Width()
+	fy := (p.Y - space.Min.Y) / space.Height()
+	clamp := func(f float64) uint32 {
+		if f <= 0 {
+			return 0
+		}
+		if f >= 1 {
+			return math.MaxUint32
+		}
+		return uint32(f * float64(math.MaxUint32))
+	}
+	return clamp(fx), clamp(fy)
+}
+
+// Dequantize inverts Quantize up to the 32-bit grid resolution.
+func Dequantize(x, y uint32, space geo.Rect) geo.Point {
+	return geo.Point{
+		X: space.Min.X + float64(x)/float64(math.MaxUint32)*space.Width(),
+		Y: space.Min.Y + float64(y)/float64(math.MaxUint32)*space.Height(),
+	}
+}
+
+// RecordOf quantizes a POI location into a Record.
+func RecordOf(id int64, p geo.Point, space geo.Rect) Record {
+	x, y := Quantize(p, space)
+	return Record{ID: uint64(id), X: x, Y: y}
+}
+
+// Point returns the record's location in the given space.
+func (r Record) Point(space geo.Rect) geo.Point {
+	return Dequantize(r.X, r.Y, space)
+}
+
+// Codec packs and unpacks answers for a modulus of the given bit length.
+type Codec struct {
+	// ModulusBits is the bit length of the Paillier modulus N. Every packed
+	// integer is < 2^(ModulusBits-1) and therefore a valid plaintext.
+	ModulusBits int
+	// IncludeID adds the POI's database identifier to each record (2 slots
+	// per record instead of 1). The paper's experiments return coordinates
+	// only; applications that need to reference POIs enable IDs.
+	IncludeID bool
+}
+
+// slotsPerRecord returns the number of 64-bit slots one record occupies.
+func (c Codec) slotsPerRecord() int {
+	if c.IncludeID {
+		return 2
+	}
+	return 1
+}
+
+// SlotsPerInt returns how many slots fit in one packed integer.
+func (c Codec) SlotsPerInt() int {
+	n := (c.ModulusBits - 1) / SlotBits
+	if n < 1 {
+		panic(fmt.Sprintf("encode: modulus of %d bits cannot hold a slot", c.ModulusBits))
+	}
+	return n
+}
+
+// IntsFor returns m, the number of packed integers needed for an answer of
+// k records (including the count slot). This is the m of Theorem 3.1 and
+// of the communication analysis in Sections 6–7.
+func (c Codec) IntsFor(k int) int {
+	slots := 1 + k*c.slotsPerRecord()
+	per := c.SlotsPerInt()
+	return (slots + per - 1) / per
+}
+
+// Encode packs records into big integers, each < 2^(ModulusBits−1).
+func (c Codec) Encode(records []Record) []*big.Int {
+	slots := make([]uint64, 0, 1+len(records)*c.slotsPerRecord())
+	slots = append(slots, uint64(len(records)))
+	for _, r := range records {
+		if c.IncludeID {
+			slots = append(slots, r.ID)
+		}
+		slots = append(slots, uint64(r.X)<<32|uint64(r.Y))
+	}
+	per := c.SlotsPerInt()
+	out := make([]*big.Int, 0, (len(slots)+per-1)/per)
+	for start := 0; start < len(slots); start += per {
+		end := start + per
+		if end > len(slots) {
+			end = len(slots)
+		}
+		v := new(big.Int)
+		tmp := new(big.Int)
+		for i := end - 1; i >= start; i-- {
+			v.Lsh(v, SlotBits)
+			v.Or(v, tmp.SetUint64(slots[i]))
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		out = append(out, new(big.Int))
+	}
+	return out
+}
+
+// Pad extends ints with zero integers to length m, the shared answer-matrix
+// height ("if the number of integers encoded for a query answer is less
+// than m, 0's are padded as placeholders"). It panics if ints is already
+// longer than m.
+func Pad(ints []*big.Int, m int) []*big.Int {
+	if len(ints) > m {
+		panic(fmt.Sprintf("encode: answer of %d ints exceeds matrix height %d", len(ints), m))
+	}
+	for len(ints) < m {
+		ints = append(ints, new(big.Int))
+	}
+	return ints
+}
+
+// Decode unpacks an answer previously produced by Encode (possibly padded
+// with trailing zero integers).
+func (c Codec) Decode(ints []*big.Int) ([]Record, error) {
+	if len(ints) == 0 {
+		return nil, fmt.Errorf("encode: no integers to decode")
+	}
+	per := c.SlotsPerInt()
+	slots := make([]uint64, 0, len(ints)*per)
+	mask := new(big.Int).SetUint64(math.MaxUint64)
+	for _, v := range ints {
+		if v.Sign() < 0 || v.BitLen() > c.ModulusBits-1 {
+			return nil, fmt.Errorf("encode: packed integer out of range (bitlen %d)", v.BitLen())
+		}
+		cur := new(big.Int).Set(v)
+		tmp := new(big.Int)
+		for i := 0; i < per; i++ {
+			slots = append(slots, tmp.And(cur, mask).Uint64())
+			cur.Rsh(cur, SlotBits)
+		}
+	}
+	count := slots[0]
+	spr := uint64(c.slotsPerRecord())
+	if count > uint64(len(slots)-1)/spr {
+		return nil, fmt.Errorf("encode: count %d exceeds available slots", count)
+	}
+	records := make([]Record, 0, count)
+	pos := 1
+	for i := uint64(0); i < count; i++ {
+		var r Record
+		if c.IncludeID {
+			r.ID = slots[pos]
+			pos++
+		}
+		xy := slots[pos]
+		pos++
+		r.X = uint32(xy >> 32)
+		r.Y = uint32(xy)
+		records = append(records, r)
+	}
+	return records, nil
+}

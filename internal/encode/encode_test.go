@@ -1,0 +1,214 @@
+package encode
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ppgnn/internal/geo"
+)
+
+func TestQuantizeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		p := geo.Point{X: rng.Float64(), Y: rng.Float64()}
+		x, y := Quantize(p, geo.UnitRect)
+		q := Dequantize(x, y, geo.UnitRect)
+		if math.Abs(p.X-q.X) > 1e-9 || math.Abs(p.Y-q.Y) > 1e-9 {
+			t.Fatalf("quantize roundtrip error: %v → %v", p, q)
+		}
+	}
+}
+
+func TestQuantizeCorners(t *testing.T) {
+	x, y := Quantize(geo.Point{X: 0, Y: 0}, geo.UnitRect)
+	if x != 0 || y != 0 {
+		t.Fatalf("min corner = (%d,%d)", x, y)
+	}
+	x, y = Quantize(geo.Point{X: 1, Y: 1}, geo.UnitRect)
+	if x != math.MaxUint32 || y != math.MaxUint32 {
+		t.Fatalf("max corner = (%d,%d)", x, y)
+	}
+	// Out-of-space points clamp rather than wrap.
+	x, _ = Quantize(geo.Point{X: 2, Y: 0.5}, geo.UnitRect)
+	if x != math.MaxUint32 {
+		t.Fatalf("overflow not clamped: %d", x)
+	}
+}
+
+func TestQuantizeNonUnitSpace(t *testing.T) {
+	space := geo.Rect{Min: geo.Point{X: -100, Y: 50}, Max: geo.Point{X: 100, Y: 150}}
+	p := geo.Point{X: 25, Y: 120}
+	x, y := Quantize(p, space)
+	q := Dequantize(x, y, space)
+	if math.Abs(p.X-q.X) > 1e-6 || math.Abs(p.Y-q.Y) > 1e-6 {
+		t.Fatalf("non-unit roundtrip: %v → %v", p, q)
+	}
+}
+
+func randomRecords(rng *rand.Rand, n int, withID bool) []Record {
+	rs := make([]Record, n)
+	for i := range rs {
+		rs[i] = Record{X: rng.Uint32(), Y: rng.Uint32()}
+		if withID {
+			rs[i].ID = uint64(rng.Int63())
+		}
+	}
+	return rs
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, bits := range []int{256, 1024, 2048} {
+		for _, withID := range []bool{false, true} {
+			c := Codec{ModulusBits: bits, IncludeID: withID}
+			for _, k := range []int{0, 1, 2, 7, 15, 16, 32, 100} {
+				recs := randomRecords(rng, k, withID)
+				ints := c.Encode(recs)
+				if len(ints) != c.IntsFor(k) {
+					t.Fatalf("bits=%d id=%v k=%d: %d ints, IntsFor says %d",
+						bits, withID, k, len(ints), c.IntsFor(k))
+				}
+				for _, v := range ints {
+					if v.BitLen() > bits-1 {
+						t.Fatalf("packed int of %d bits exceeds modulus-1", v.BitLen())
+					}
+				}
+				got, err := c.Decode(ints)
+				if err != nil {
+					t.Fatalf("bits=%d id=%v k=%d: %v", bits, withID, k, err)
+				}
+				if len(got) != k {
+					t.Fatalf("decoded %d records, want %d", len(got), k)
+				}
+				for i := range got {
+					want := recs[i]
+					if !withID {
+						want.ID = 0
+					}
+					if got[i] != want {
+						t.Fatalf("record %d = %+v, want %+v", i, got[i], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeWithPadding(t *testing.T) {
+	c := Codec{ModulusBits: 1024}
+	rng := rand.New(rand.NewSource(3))
+	recs := randomRecords(rng, 5, false)
+	ints := Pad(c.Encode(recs), 4)
+	if len(ints) != 4 {
+		t.Fatalf("padded to %d", len(ints))
+	}
+	got, err := c.Decode(ints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("decoded %d records", len(got))
+	}
+}
+
+func TestPadPanicsWhenTooLong(t *testing.T) {
+	c := Codec{ModulusBits: 256}
+	ints := c.Encode(randomRecords(rand.New(rand.NewSource(4)), 20, false))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pad did not panic")
+		}
+	}()
+	Pad(ints, 1)
+}
+
+func TestFifteenPOIsPerIntegerAt1024Bits(t *testing.T) {
+	// The paper's encoding density claim for 1024-bit keys.
+	c := Codec{ModulusBits: 1024}
+	if got := c.SlotsPerInt(); got != 15 {
+		t.Fatalf("slots per 1024-bit integer = %d, want 15", got)
+	}
+	// 14 POIs + count slot fit in one integer; the 15th spills over.
+	if c.IntsFor(14) != 1 {
+		t.Fatalf("IntsFor(14) = %d, want 1", c.IntsFor(14))
+	}
+	if c.IntsFor(15) != 2 {
+		t.Fatalf("IntsFor(15) = %d, want 2", c.IntsFor(15))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	c := Codec{ModulusBits: 256}
+	if _, err := c.Decode(nil); err == nil {
+		t.Error("empty decode accepted")
+	}
+	// Out-of-range integer.
+	big1 := new(big.Int).Lsh(big.NewInt(1), 256)
+	if _, err := c.Decode([]*big.Int{big1}); err == nil {
+		t.Error("oversized integer accepted")
+	}
+	// Corrupted count.
+	huge := new(big.Int).SetUint64(1 << 40)
+	if _, err := c.Decode([]*big.Int{huge}); err == nil {
+		t.Error("absurd count accepted")
+	}
+}
+
+func TestEncodeEmptyAnswer(t *testing.T) {
+	c := Codec{ModulusBits: 512}
+	ints := c.Encode(nil)
+	if len(ints) != 1 {
+		t.Fatalf("empty answer encoded to %d ints", len(ints))
+	}
+	got, err := c.Decode(ints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("decoded %d records from empty answer", len(got))
+	}
+}
+
+// Property: roundtrip holds for arbitrary record contents.
+func TestRoundTripProperty(t *testing.T) {
+	c := Codec{ModulusBits: 512, IncludeID: true}
+	f := func(ids []uint64, xs, ys []uint32) bool {
+		n := len(ids)
+		if len(xs) < n {
+			n = len(xs)
+		}
+		if len(ys) < n {
+			n = len(ys)
+		}
+		recs := make([]Record, n)
+		for i := 0; i < n; i++ {
+			recs[i] = Record{ID: ids[i], X: xs[i], Y: ys[i]}
+		}
+		got, err := c.Decode(c.Encode(recs))
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range got {
+			if got[i] != recs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlotsPerIntPanicsTinyModulus(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for 64-bit modulus")
+		}
+	}()
+	Codec{ModulusBits: 64}.SlotsPerInt()
+}

@@ -1,0 +1,47 @@
+package encode
+
+import (
+	"math/big"
+	"testing"
+)
+
+// FuzzDecode: arbitrary packed integers must decode cleanly or error —
+// never panic — since the coordinator decodes whatever the LSP returns.
+func FuzzDecode(f *testing.F) {
+	c := Codec{ModulusBits: 512}
+	f.Add([]byte{0x01}, []byte{0x02})
+	f.Add(c.Encode([]Record{{X: 1, Y: 2}})[0].Bytes(), []byte{})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		ints := []*big.Int{new(big.Int).SetBytes(a), new(big.Int).SetBytes(b)}
+		recs, err := c.Decode(ints)
+		if err != nil {
+			return
+		}
+		// Decoded records must re-encode within the modulus bound.
+		for _, v := range c.Encode(recs) {
+			if v.BitLen() > c.ModulusBits-1 {
+				t.Fatal("re-encoded record exceeds modulus")
+			}
+		}
+	})
+}
+
+// FuzzCodecRoundTrip: every record list round-trips under both codecs.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint32(2), uint32(3), true)
+	f.Add(uint64(0), uint32(0), uint32(0), false)
+	f.Fuzz(func(t *testing.T, id uint64, x, y uint32, withID bool) {
+		c := Codec{ModulusBits: 256, IncludeID: withID}
+		rec := Record{ID: id, X: x, Y: y}
+		if !withID {
+			rec.ID = 0
+		}
+		got, err := c.Decode(c.Encode([]Record{rec}))
+		if err != nil {
+			t.Fatalf("roundtrip decode: %v", err)
+		}
+		if len(got) != 1 || got[0] != rec {
+			t.Fatalf("roundtrip mismatch: %+v vs %+v", got, rec)
+		}
+	})
+}

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ppgnn/internal/dataset"
+)
+
+// quickConfig keeps the harness smoke tests fast: tiny keys, one query per
+// point, endpoint-only sweeps, small database.
+func quickConfig() Config {
+	return Config{
+		Items:   dataset.Synthetic(9, 5000),
+		Queries: 1,
+		KeyBits: 256,
+		Seed:    7,
+		Quick:   true,
+	}
+}
+
+func checkTables(t *testing.T, tables []*Table, wantTables int) {
+	t.Helper()
+	if len(tables) != wantTables {
+		t.Fatalf("got %d tables, want %d", len(tables), wantTables)
+	}
+	for _, tb := range tables {
+		if len(tb.Rows) == 0 {
+			t.Fatalf("table %q has no rows", tb.Title)
+		}
+		for _, r := range tb.Rows {
+			if len(r.Values) != len(tb.Series) {
+				t.Fatalf("table %q: row %v has %d values for %d series",
+					tb.Title, r.X, len(r.Values), len(tb.Series))
+			}
+			for i, v := range r.Values {
+				if math.IsNaN(v) || v < 0 {
+					t.Fatalf("table %q: series %s at x=%v has value %v",
+						tb.Title, tb.Series[i], r.X, v)
+				}
+			}
+		}
+		if !strings.Contains(tb.Format(), tb.XLabel) {
+			t.Fatalf("table %q: Format() missing x label", tb.Title)
+		}
+	}
+}
+
+func TestFig5Quick(t *testing.T) {
+	tables, err := quickConfig().Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTables(t, tables, 6)
+	// Comm cost must grow with d for both variants (Figure 5a).
+	comm := tables[0]
+	first, last := comm.Rows[0], comm.Rows[len(comm.Rows)-1]
+	for i := range comm.Series {
+		if last.Values[i] <= first.Values[i] {
+			t.Errorf("series %s: comm cost did not grow with d", comm.Series[i])
+		}
+	}
+}
+
+func TestFig6Quick(t *testing.T) {
+	tables, err := quickConfig().Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTables(t, tables, 12)
+	// At the largest δ, Naive must cost the most communication and OPT the
+	// least (Figure 6a).
+	comm := tables[0]
+	last := comm.Rows[len(comm.Rows)-1]
+	ppgnn, opt, naive := last.Values[0], last.Values[1], last.Values[2]
+	if !(opt < ppgnn && ppgnn < naive) {
+		t.Errorf("Figure 6a shape violated: OPT=%v PPGNN=%v Naive=%v", opt, ppgnn, naive)
+	}
+}
+
+func TestFig7Quick(t *testing.T) {
+	tables, err := quickConfig().Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTables(t, tables, 3)
+	for _, tb := range tables {
+		for _, r := range tb.Rows {
+			if r.Values[0] < 1 {
+				t.Fatalf("%s: fewer than 1 POI returned at x=%v", tb.Title, r.X)
+			}
+		}
+	}
+	// A stronger θ0 returns no more POIs (Figure 7c).
+	thT := tables[2]
+	if thT.Rows[len(thT.Rows)-1].Values[0] > thT.Rows[0].Values[0] {
+		t.Error("Figure 7c shape violated: more POIs at stronger θ0")
+	}
+}
+
+func TestFig8Quick(t *testing.T) {
+	// Figure 8's IPPF-vs-PPGNN communication ordering depends on the
+	// database size (IPPF streams ~hundreds of candidates per rank at
+	// Sequoia scale), so this smoke test keeps the full-size database.
+	cfg := quickConfig()
+	cfg.Items = dataset.Sequoia(dataset.DefaultSeed)
+	tables, err := cfg.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTables(t, tables, 6)
+	// IPPF communication must dominate PPGNN (Figure 8a).
+	comm := tables[0]
+	for _, r := range comm.Rows {
+		if r.Values[2] <= r.Values[0] {
+			t.Errorf("Figure 8a shape violated at k=%v: IPPF=%v PPGNN=%v", r.X, r.Values[2], r.Values[0])
+		}
+	}
+	// PPGNN-NAS LSP cost must be below PPGNN's (the sanitation gap,
+	// Figure 8c).
+	lspT := tables[2]
+	for _, r := range lspT.Rows {
+		if r.Values[1] >= r.Values[0] {
+			t.Errorf("Figure 8c shape violated at k=%v: NAS=%v PPGNN=%v", r.X, r.Values[1], r.Values[0])
+		}
+	}
+}
+
+func TestTable2Quick(t *testing.T) {
+	out, err := quickConfig().Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"predicted", "measured", "PPGNN-OPT"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3And4(t *testing.T) {
+	if out := quickConfig().Table3(); !strings.Contains(out, "theta0") {
+		t.Fatalf("Table3 malformed:\n%s", out)
+	}
+	if out := Table4(); !strings.Contains(out, "PPGNN") || !strings.Contains(out, "IPPF") {
+		t.Fatalf("Table4 malformed:\n%s", out)
+	}
+}
+
+func TestKeygenCost(t *testing.T) {
+	d, err := quickConfig().KeygenCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatal("keygen cost not recorded")
+	}
+}
+
+func TestMobileQuick(t *testing.T) {
+	out, err := quickConfig().Mobile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"3G", "4G", "WiFi", "PPGNN-OPT"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Mobile output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package gnn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"ppgnn/internal/geo"
+	"ppgnn/internal/rtree"
+)
+
+// All four engines (MBM, SPM, MQM, brute force) must agree exactly.
+func TestAllMethodsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	items := randomItems(rng, 4000)
+	tree := rtree.Bulk(items, 16)
+	for _, agg := range []Aggregate{Sum, Max, Min} {
+		engines := map[string]Searcher{
+			"MBM":   &MBM{Tree: tree, Agg: agg},
+			"SPM":   &SPM{Tree: tree, Agg: agg},
+			"MQM":   &MQM{Tree: tree, Agg: agg},
+			"brute": &BruteForce{Items: items, Agg: agg},
+		}
+		for trial := 0; trial < 15; trial++ {
+			n := 1 + rng.Intn(8)
+			k := 1 + rng.Intn(12)
+			q := randomQuery(rng, n)
+			want := engines["brute"].Search(q, k)
+			for name, e := range engines {
+				got := e.Search(q, k)
+				if len(got) != len(want) {
+					t.Fatalf("%s/%v trial %d: %d results, want %d", name, agg, trial, len(got), len(want))
+				}
+				for i := range want {
+					if got[i].Item.ID != want[i].Item.ID {
+						t.Fatalf("%s/%v trial %d rank %d: got %d (%.6f), want %d (%.6f)",
+							name, agg, trial, i, got[i].Item.ID, got[i].Cost,
+							want[i].Item.ID, want[i].Cost)
+					}
+					if math.Abs(got[i].Cost-want[i].Cost) > 1e-9 {
+						t.Fatalf("%s/%v: cost mismatch at rank %d", name, agg, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMethodsEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	items := randomItems(rng, 30)
+	tree := rtree.Bulk(items, 8)
+	empty := rtree.New(0)
+	for _, e := range []Searcher{
+		&SPM{Tree: tree, Agg: Sum},
+		&MQM{Tree: tree, Agg: Sum},
+	} {
+		if e.Search(nil, 5) != nil {
+			t.Errorf("%T: empty query accepted", e)
+		}
+		if e.Search(randomQuery(rng, 2), 0) != nil {
+			t.Errorf("%T: k=0 accepted", e)
+		}
+		if got := e.Search(randomQuery(rng, 2), 100); len(got) != 30 {
+			t.Errorf("%T: k>size returned %d", e, len(got))
+		}
+	}
+	for _, e := range []Searcher{
+		&SPM{Tree: empty, Agg: Sum},
+		&MQM{Tree: empty, Agg: Sum},
+	} {
+		if e.Search(randomQuery(rng, 2), 5) != nil {
+			t.Errorf("%T: empty tree returned results", e)
+		}
+	}
+}
+
+// Clustered (non-uniform) data stresses the pruning bounds differently.
+func TestMethodsAgreeOnClusteredData(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	var items []rtree.Item
+	id := int64(0)
+	for c := 0; c < 10; c++ {
+		cx, cy := rng.Float64(), rng.Float64()
+		for i := 0; i < 200; i++ {
+			items = append(items, rtree.Item{
+				ID: id,
+				P: geo.UnitRect.Clamp(geo.Point{
+					X: cx + rng.NormFloat64()*0.02,
+					Y: cy + rng.NormFloat64()*0.02,
+				}),
+			})
+			id++
+		}
+	}
+	tree := rtree.Bulk(items, 16)
+	bf := &BruteForce{Items: items, Agg: Sum}
+	for trial := 0; trial < 10; trial++ {
+		q := randomQuery(rng, 4)
+		want := bf.Search(q, 10)
+		for name, e := range map[string]Searcher{
+			"MBM": &MBM{Tree: tree, Agg: Sum},
+			"SPM": &SPM{Tree: tree, Agg: Sum},
+			"MQM": &MQM{Tree: tree, Agg: Sum},
+		} {
+			got := e.Search(q, 10)
+			for i := range want {
+				if got[i].Item.ID != want[i].Item.ID {
+					t.Fatalf("%s trial %d rank %d mismatch", name, trial, i)
+				}
+			}
+		}
+	}
+}
+
+// Widely spread query points are the worst case for SPM's centroid bound;
+// it must stay correct (if slow).
+func TestSPMSpreadQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	items := randomItems(rng, 2000)
+	tree := rtree.Bulk(items, 16)
+	q := []geo.Point{{X: 0.01, Y: 0.01}, {X: 0.99, Y: 0.99}, {X: 0.01, Y: 0.99}, {X: 0.99, Y: 0.01}}
+	want := (&BruteForce{Items: items, Agg: Sum}).Search(q, 5)
+	got := (&SPM{Tree: tree, Agg: Sum}).Search(q, 5)
+	for i := range want {
+		if got[i].Item.ID != want[i].Item.ID {
+			t.Fatalf("rank %d mismatch", i)
+		}
+	}
+}
+
+// BenchmarkAblationGNNMethods compares the C_q term of the LSP cost model
+// across the three tree-based methods and the linear scan — the ablation
+// called out in DESIGN.md (the protocol's LSP cost is O(δ')·C_q, so the
+// engine choice scales every candidate query).
+func BenchmarkAblationGNNMethods(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	items := randomItems(rng, 62556)
+	tree := rtree.Bulk(items, rtree.DefaultMaxEntries)
+	for _, n := range []int{2, 8} {
+		q := randomQuery(rng, n)
+		for name, e := range map[string]Searcher{
+			"MBM":   &MBM{Tree: tree, Agg: Sum},
+			"SPM":   &SPM{Tree: tree, Agg: Sum},
+			"MQM":   &MQM{Tree: tree, Agg: Sum},
+			"brute": &BruteForce{Items: items, Agg: Sum},
+		} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					e.Search(q, 8)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package paillier
+
+import (
+	"math/big"
+)
+
+// CRT acceleration: the dominant cost of Damgård–Jurik decryption is the
+// exponentiation c^λ mod N^{s+1}. Knowing the factorization, the holder of
+// the private key can compute it modulo p^{s+1} and q^{s+1} separately and
+// recombine — two half-width exponentiations instead of one full-width
+// one, roughly halving decryption time (see BenchmarkDecrypt in the tests).
+
+// crtCtx caches the per-degree CRT moduli and recombination coefficient.
+type crtCtx struct {
+	pPow *big.Int // p^{s+1}
+	qPow *big.Int // q^{s+1}
+	coef *big.Int // (p^{s+1})^{-1} mod q^{s+1}
+}
+
+// crt returns the CRT context for degree s, cached on the key.
+func (sk *PrivateKey) crt(s int) *crtCtx {
+	sk.mu.Lock()
+	defer sk.mu.Unlock()
+	for len(sk.crtCtxs) <= s {
+		sk.crtCtxs = append(sk.crtCtxs, nil)
+	}
+	if sk.crtCtxs[s] == nil {
+		pPow := new(big.Int).Exp(sk.P, big.NewInt(int64(s+1)), nil)
+		qPow := new(big.Int).Exp(sk.Q, big.NewInt(int64(s+1)), nil)
+		coef := new(big.Int).ModInverse(pPow, qPow)
+		if coef == nil {
+			panic("paillier: p^{s+1} not invertible mod q^{s+1}")
+		}
+		sk.crtCtxs[s] = &crtCtx{pPow: pPow, qPow: qPow, coef: coef}
+	}
+	return sk.crtCtxs[s]
+}
+
+// expLambdaCRT computes c^λ mod N^{s+1} via the factorization.
+func (sk *PrivateKey) expLambdaCRT(c *big.Int, s int) *big.Int {
+	ctx := sk.crt(s)
+	up := new(big.Int).Exp(new(big.Int).Mod(c, ctx.pPow), sk.lambda, ctx.pPow)
+	uq := new(big.Int).Exp(new(big.Int).Mod(c, ctx.qPow), sk.lambda, ctx.qPow)
+	// u = up + p^{s+1} · ((uq − up) · coef mod q^{s+1})
+	t := new(big.Int).Sub(uq, up)
+	t.Mod(t, ctx.qPow)
+	t.Mul(t, ctx.coef)
+	t.Mod(t, ctx.qPow)
+	t.Mul(t, ctx.pPow)
+	t.Add(t, up)
+	return t
+}

@@ -1,0 +1,126 @@
+package paillier
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+// The CRT-accelerated c^λ must agree with the direct exponentiation for
+// every degree.
+func TestExpLambdaCRTMatchesDirect(t *testing.T) {
+	k := key(t)
+	for s := 1; s <= 3; s++ {
+		mod := k.NS(s + 1)
+		for i := 0; i < 10; i++ {
+			c, err := rand.Int(rand.Reader, mod)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.Sign() == 0 {
+				continue
+			}
+			want := new(big.Int).Exp(c, k.lambda, mod)
+			got := k.expLambdaCRT(c, s)
+			if got.Cmp(want) != 0 {
+				t.Fatalf("s=%d: CRT exponentiation mismatch", s)
+			}
+		}
+	}
+}
+
+func TestCRTDecryptionFreshKey(t *testing.T) {
+	// A fresh key (no warmed caches) must still decrypt correctly via CRT.
+	k, err := GenerateKey(nil, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 1; s <= 2; s++ {
+		m := big.NewInt(987654321)
+		ct, err := k.Encrypt(nil, m, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := k.Decrypt(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(m) != 0 {
+			t.Fatalf("s=%d: decrypt = %v", s, got)
+		}
+	}
+}
+
+func benchKey(b *testing.B, bits int) *PrivateKey {
+	b.Helper()
+	k, err := GenerateKey(nil, bits)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return k
+}
+
+func BenchmarkEncrypt1024(b *testing.B) {
+	k := benchKey(b, 1024)
+	m := big.NewInt(123456789)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.Encrypt(nil, m, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecrypt1024CRT(b *testing.B) {
+	k := benchKey(b, 1024)
+	ct, err := k.EncryptInt64(nil, 123456789, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.Decrypt(ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecrypt1024Direct(b *testing.B) {
+	k := benchKey(b, 1024)
+	ct, err := k.EncryptInt64(nil, 123456789, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mod := k.NS(ct.S + 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := new(big.Int).Exp(ct.C, k.lambda, mod)
+		x, err := k.logOnePlusN(u, ct.S)
+		if err != nil {
+			b.Fatal(err)
+		}
+		x.Mul(x, k.invLambda(ct.S))
+		x.Mod(x, k.NS(ct.S))
+	}
+}
+
+func BenchmarkHomomorphicDot1024(b *testing.B) {
+	k := benchKey(b, 1024)
+	const n = 100
+	xs := make([]*big.Int, n)
+	cs := make([]*Ciphertext, n)
+	for i := range xs {
+		xs[i] = big.NewInt(int64(i + 1))
+		ct, err := k.EncryptInt64(nil, int64(i), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cs[i] = ct
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.DotProduct(xs, cs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,519 @@
+package paillier
+
+import (
+	"bytes"
+	"crypto/rand"
+	"math/big"
+	mrand "math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// testKeyBits keeps unit tests fast; correctness is key-size independent.
+const testKeyBits = 256
+
+var testKey *PrivateKey
+
+func key(t testing.TB) *PrivateKey {
+	t.Helper()
+	if testKey == nil {
+		k, err := GenerateKey(nil, testKeyBits)
+		if err != nil {
+			t.Fatalf("GenerateKey: %v", err)
+		}
+		testKey = k
+	}
+	return testKey
+}
+
+func TestGenerateKeyProperties(t *testing.T) {
+	k := key(t)
+	if got := k.N.BitLen(); got != testKeyBits {
+		t.Errorf("N bit length = %d, want %d", got, testKeyBits)
+	}
+	if new(big.Int).Mul(k.P, k.Q).Cmp(k.N) != 0 {
+		t.Error("N != P*Q")
+	}
+	if !k.P.ProbablyPrime(20) || !k.Q.ProbablyPrime(20) {
+		t.Error("P or Q not prime")
+	}
+}
+
+func TestGenerateKeyTooSmall(t *testing.T) {
+	if _, err := GenerateKey(nil, 8); err == nil {
+		t.Fatal("expected error for 8-bit key")
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	k := key(t)
+	for s := 1; s <= 4; s++ {
+		ns := k.NS(s)
+		values := []*big.Int{
+			big.NewInt(0),
+			big.NewInt(1),
+			big.NewInt(123456789),
+			new(big.Int).Sub(ns, one), // maximum plaintext
+			new(big.Int).Rsh(ns, 1),   // middle of the range
+		}
+		for _, m := range values {
+			c, err := k.Encrypt(nil, m, s)
+			if err != nil {
+				t.Fatalf("s=%d Encrypt(%v): %v", s, m, err)
+			}
+			got, err := k.Decrypt(c)
+			if err != nil {
+				t.Fatalf("s=%d Decrypt: %v", s, err)
+			}
+			if got.Cmp(m) != 0 {
+				t.Fatalf("s=%d roundtrip = %v, want %v", s, got, m)
+			}
+		}
+	}
+}
+
+func TestEncryptRejectsOutOfRange(t *testing.T) {
+	k := key(t)
+	if _, err := k.Encrypt(nil, big.NewInt(-1), 1); err == nil {
+		t.Error("negative plaintext accepted")
+	}
+	if _, err := k.Encrypt(nil, k.NS(1), 1); err == nil {
+		t.Error("plaintext == N accepted for s=1")
+	}
+	if _, err := k.Encrypt(nil, big.NewInt(1), 0); err == nil {
+		t.Error("degree 0 accepted")
+	}
+	if _, err := k.Encrypt(nil, big.NewInt(1), MaxS+1); err == nil {
+		t.Error("degree > MaxS accepted")
+	}
+}
+
+func TestEncryptionIsProbabilistic(t *testing.T) {
+	k := key(t)
+	m := big.NewInt(42)
+	c1, err := k.Encrypt(nil, m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := k.Encrypt(nil, m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.C.Cmp(c2.C) == 0 {
+		t.Fatal("two encryptions of the same plaintext were identical")
+	}
+}
+
+func TestHomomorphicAdd(t *testing.T) {
+	k := key(t)
+	for s := 1; s <= 2; s++ {
+		m1, m2 := big.NewInt(1234), big.NewInt(98765)
+		c1, _ := k.Encrypt(nil, m1, s)
+		c2, _ := k.Encrypt(nil, m2, s)
+		sum, err := k.Add(c1, c2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := k.Decrypt(sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := new(big.Int).Add(m1, m2); got.Cmp(want) != 0 {
+			t.Fatalf("s=%d Add = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestHomomorphicAddWraps(t *testing.T) {
+	k := key(t)
+	ns := k.NS(1)
+	m1 := new(big.Int).Sub(ns, one) // N-1
+	m2 := big.NewInt(5)
+	c1, _ := k.Encrypt(nil, m1, 1)
+	c2, _ := k.Encrypt(nil, m2, 1)
+	sum, _ := k.Add(c1, c2)
+	got, _ := k.Decrypt(sum)
+	if want := big.NewInt(4); got.Cmp(want) != 0 { // (N-1+5) mod N = 4
+		t.Fatalf("wrapped Add = %v, want 4", got)
+	}
+}
+
+func TestAddDegreeMismatch(t *testing.T) {
+	k := key(t)
+	c1, _ := k.EncryptInt64(nil, 1, 1)
+	c2, _ := k.EncryptInt64(nil, 1, 2)
+	if _, err := k.Add(c1, c2); err == nil {
+		t.Fatal("Add accepted mismatched degrees")
+	}
+}
+
+func TestHomomorphicMulPlain(t *testing.T) {
+	k := key(t)
+	m := big.NewInt(77)
+	c, _ := k.Encrypt(nil, m, 1)
+	prod := k.MulPlain(big.NewInt(13), c)
+	got, _ := k.Decrypt(prod)
+	if want := big.NewInt(77 * 13); got.Cmp(want) != 0 {
+		t.Fatalf("MulPlain = %v, want %v", got, want)
+	}
+}
+
+func TestMulPlainNegative(t *testing.T) {
+	k := key(t)
+	c, _ := k.EncryptInt64(nil, 10, 1)
+	prod := k.MulPlain(big.NewInt(-3), c)
+	got, _ := k.Decrypt(prod)
+	want := new(big.Int).Sub(k.NS(1), big.NewInt(30)) // -30 mod N
+	if got.Cmp(want) != 0 {
+		t.Fatalf("MulPlain(-3) = %v, want %v", got, want)
+	}
+}
+
+func TestMulPlainZero(t *testing.T) {
+	k := key(t)
+	c, _ := k.EncryptInt64(nil, 999, 1)
+	got, _ := k.Decrypt(k.MulPlain(new(big.Int), c))
+	if got.Sign() != 0 {
+		t.Fatalf("MulPlain(0) decrypts to %v, want 0", got)
+	}
+}
+
+// Property-based check of the homomorphism laws from Eqn (2) and (3).
+func TestHomomorphismProperties(t *testing.T) {
+	k := key(t)
+	rng := mrand.New(mrand.NewSource(11))
+	cfg := &quick.Config{MaxCount: 25, Rand: rng}
+
+	addLaw := func(a, b uint32) bool {
+		ca, _ := k.EncryptInt64(nil, int64(a), 1)
+		cb, _ := k.EncryptInt64(nil, int64(b), 1)
+		sum, err := k.Add(ca, cb)
+		if err != nil {
+			return false
+		}
+		got, err := k.Decrypt(sum)
+		return err == nil && got.Int64() == int64(a)+int64(b)
+	}
+	if err := quick.Check(addLaw, cfg); err != nil {
+		t.Errorf("add law: %v", err)
+	}
+
+	mulLaw := func(a uint32, x uint16) bool {
+		ca, _ := k.EncryptInt64(nil, int64(a), 1)
+		got, err := k.Decrypt(k.MulPlain(big.NewInt(int64(x)), ca))
+		return err == nil && got.Int64() == int64(a)*int64(x)
+	}
+	if err := quick.Check(mulLaw, cfg); err != nil {
+		t.Errorf("mul law: %v", err)
+	}
+}
+
+func TestDotProduct(t *testing.T) {
+	k := key(t)
+	xs := []*big.Int{big.NewInt(3), big.NewInt(0), big.NewInt(7), big.NewInt(2)}
+	ms := []int64{10, 999, 5, 1}
+	cs := make([]*Ciphertext, len(ms))
+	for i, m := range ms {
+		cs[i], _ = k.EncryptInt64(nil, m, 1)
+	}
+	dot, err := k.DotProduct(xs, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := k.Decrypt(dot)
+	if want := int64(3*10 + 0*999 + 7*5 + 2*1); got.Int64() != want {
+		t.Fatalf("DotProduct = %v, want %v", got, want)
+	}
+}
+
+func TestDotProductErrors(t *testing.T) {
+	k := key(t)
+	c, _ := k.EncryptInt64(nil, 1, 1)
+	if _, err := k.DotProduct([]*big.Int{one}, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := k.DotProduct(nil, nil); err == nil {
+		t.Error("empty vectors accepted")
+	}
+	c2, _ := k.EncryptInt64(nil, 1, 2)
+	if _, err := k.DotProduct([]*big.Int{one, one}, []*Ciphertext{c, c2}); err == nil {
+		t.Error("mixed degrees accepted")
+	}
+}
+
+// TestPrivateSelection exercises Theorem 3.1: multiplying the answer matrix
+// with an encrypted indicator vector selects exactly one column.
+func TestPrivateSelection(t *testing.T) {
+	k := key(t)
+	const m, d = 3, 5
+	a := make([][]*big.Int, m)
+	for i := range a {
+		a[i] = make([]*big.Int, d)
+		for j := range a[i] {
+			a[i][j] = big.NewInt(int64(100*i + j))
+		}
+	}
+	for target := 0; target < d; target++ {
+		v := make([]*Ciphertext, d)
+		for j := 0; j < d; j++ {
+			bit := int64(0)
+			if j == target {
+				bit = 1
+			}
+			c, err := k.EncryptInt64(nil, bit, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v[j] = c
+		}
+		sel, err := k.MatSelect(a, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < m; i++ {
+			got, err := k.Decrypt(sel[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Cmp(a[i][target]) != 0 {
+				t.Fatalf("selection of column %d row %d = %v, want %v", target, i, got, a[i][target])
+			}
+		}
+	}
+}
+
+// TestLayeredEncryption verifies the ε_2-over-ε_1 layering of Section 6:
+// an ε_1 ciphertext is a valid ε_2 plaintext, and the two-phase selection
+// can be unwrapped by decrypting twice.
+func TestLayeredEncryption(t *testing.T) {
+	k := key(t)
+	m := big.NewInt(31337)
+	inner, err := k.Encrypt(nil, m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner.C.Cmp(k.NS(2)) >= 0 {
+		t.Fatal("ε_1 ciphertext not a valid ε_2 plaintext")
+	}
+	outer, err := k.Encrypt(nil, inner.C, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := k.DecryptLayered(outer, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(m) != 0 {
+		t.Fatalf("layered decryption = %v, want %v", got, m)
+	}
+}
+
+// TestTwoPhaseSelection reproduces the optimization example of Figure 4:
+// select element 7 of an 8-vector using v1 of length 4 (ε_1) and v2 of
+// length 2 (ε_2).
+func TestTwoPhaseSelection(t *testing.T) {
+	k := key(t)
+	answers := make([]*big.Int, 8)
+	for i := range answers {
+		answers[i] = big.NewInt(int64(1000 + i))
+	}
+	const target = 6 // 0-based position 7 in the paper's 1-based example
+	const omega = 2  // length of v2; v1 has length 8/2 = 4
+	cols := len(answers) / omega
+
+	v1 := make([]*Ciphertext, cols)
+	v2 := make([]*Ciphertext, omega)
+	for j := 0; j < cols; j++ {
+		bit := int64(0)
+		if j == target%cols {
+			bit = 1
+		}
+		v1[j], _ = k.EncryptInt64(nil, bit, 1)
+	}
+	for j := 0; j < omega; j++ {
+		bit := int64(0)
+		if j == target/cols {
+			bit = 1
+		}
+		v2[j], _ = k.EncryptInt64(nil, bit, 2)
+	}
+
+	// Phase 1: per sub-matrix selection with v1 under ε_1.
+	phase1 := make([]*Ciphertext, omega)
+	for blk := 0; blk < omega; blk++ {
+		row := answers[blk*cols : (blk+1)*cols]
+		sel, err := k.MatSelect([][]*big.Int{row}, v1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		phase1[blk] = sel[0]
+	}
+	// Phase 2: treat the ε_1 ciphertexts as ε_2 plaintexts, select with v2.
+	row := make([]*big.Int, omega)
+	for i, c := range phase1 {
+		row[i] = c.C
+	}
+	sel, err := k.MatSelect([][]*big.Int{row}, v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := k.DecryptLayered(sel[0], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(answers[target]) != 0 {
+		t.Fatalf("two-phase selection = %v, want %v", got, answers[target])
+	}
+}
+
+func TestRerandomize(t *testing.T) {
+	k := key(t)
+	c, _ := k.EncryptInt64(nil, 55, 1)
+	r, err := k.Rerandomize(nil, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.C.Cmp(c.C) == 0 {
+		t.Fatal("Rerandomize returned an identical ciphertext")
+	}
+	got, _ := k.Decrypt(r)
+	if got.Int64() != 55 {
+		t.Fatalf("rerandomized plaintext = %v, want 55", got)
+	}
+}
+
+func TestDecryptRejectsBadInput(t *testing.T) {
+	k := key(t)
+	if _, err := k.Decrypt(&Ciphertext{C: new(big.Int), S: 1}); err == nil {
+		t.Error("zero ciphertext accepted")
+	}
+	if _, err := k.Decrypt(&Ciphertext{C: k.NS(2), S: 1}); err == nil {
+		t.Error("out-of-range ciphertext accepted")
+	}
+	if _, err := k.Decrypt(&Ciphertext{C: one, S: 0}); err == nil {
+		t.Error("degree 0 accepted")
+	}
+}
+
+func TestDecryptLayeredErrors(t *testing.T) {
+	k := key(t)
+	c, _ := k.EncryptInt64(nil, 1, 1)
+	if _, err := k.DecryptLayered(c, 0); err == nil {
+		t.Error("layers=0 accepted")
+	}
+	if _, err := k.DecryptLayered(c, 2); err == nil {
+		t.Error("peeling 2 layers off an s=1 ciphertext accepted")
+	}
+}
+
+func TestCiphertextBytesRoundTrip(t *testing.T) {
+	k := key(t)
+	for s := 1; s <= 2; s++ {
+		c, _ := k.EncryptInt64(nil, 424242, s)
+		b := c.Bytes(&k.PublicKey)
+		if len(b) != k.CiphertextByteLen(s) {
+			t.Fatalf("serialized length = %d, want %d", len(b), k.CiphertextByteLen(s))
+		}
+		back := CiphertextFromBytes(b, s)
+		if back.C.Cmp(c.C) != 0 || back.S != s {
+			t.Fatal("Bytes roundtrip mismatch")
+		}
+		got, _ := k.Decrypt(back)
+		if got.Int64() != 424242 {
+			t.Fatalf("decrypt after roundtrip = %v", got)
+		}
+	}
+}
+
+func TestCiphertextLenScalesWithDegree(t *testing.T) {
+	k := key(t)
+	l1, l2 := k.CiphertextByteLen(1), k.CiphertextByteLen(2)
+	// The paper: a ciphertext of ε_2 is about twice the length of ε_1's.
+	if l2 != l1/2*3 {
+		t.Fatalf("L(ε_2) = %d, want 1.5× of L(ε_1) container (=%d)", l2, l1/2*3)
+	}
+}
+
+func TestNewPublicKeyEncryptsForPrivate(t *testing.T) {
+	k := key(t)
+	pub := NewPublicKey(k.N)
+	c, err := pub.Encrypt(nil, big.NewInt(808), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := k.Decrypt(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != 808 {
+		t.Fatalf("decrypt = %v, want 808", got)
+	}
+}
+
+func TestOnePlusNExpMatchesBigExp(t *testing.T) {
+	k := key(t)
+	for s := 1; s <= 3; s++ {
+		mod := k.NS(s + 1)
+		base := new(big.Int).Add(one, k.N)
+		for i := 0; i < 10; i++ {
+			m, err := rand.Int(rand.Reader, k.NS(s))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := new(big.Int).Exp(base, m, mod)
+			got := k.onePlusNExp(m, s)
+			if got.Cmp(want) != 0 {
+				t.Fatalf("s=%d onePlusNExp(%v) mismatch", s, m)
+			}
+		}
+	}
+}
+
+func TestRandomPlaintextRoundTrip(t *testing.T) {
+	k := key(t)
+	for s := 1; s <= 2; s++ {
+		for i := 0; i < 20; i++ {
+			m, err := rand.Int(rand.Reader, k.NS(s))
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := k.Encrypt(nil, m, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := k.Decrypt(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Cmp(m) != 0 {
+				t.Fatalf("s=%d random roundtrip failed", s)
+			}
+		}
+	}
+}
+
+func TestDistinctKeysDontInteroperate(t *testing.T) {
+	k1 := key(t)
+	k2, err := GenerateKey(nil, testKeyBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := k1.EncryptInt64(nil, 7, 1)
+	got, err := k2.Decrypt(c)
+	if err == nil && got.Int64() == 7 {
+		t.Fatal("ciphertext decrypted correctly under the wrong key")
+	}
+}
+
+func TestBytesDeterministicLength(t *testing.T) {
+	k := key(t)
+	// A tiny ciphertext value must still serialize to full length.
+	c := &Ciphertext{C: big.NewInt(1), S: 1}
+	b := c.Bytes(&k.PublicKey)
+	if len(b) != k.CiphertextByteLen(1) {
+		t.Fatalf("len = %d, want %d", len(b), k.CiphertextByteLen(1))
+	}
+	if !bytes.Equal(b[len(b)-1:], []byte{1}) {
+		t.Fatal("padding layout unexpected")
+	}
+}

@@ -1,0 +1,88 @@
+package paillier
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+	"sync"
+)
+
+// Precomputer generates encryption randomness offline. An ε_s encryption is
+// (1+N)^m · r^{N^s} mod N^{s+1}; the r^{N^s} factor does not depend on the
+// plaintext, so a mobile client can compute a pool of them while idle or
+// charging and pay only the cheap binomial part online. This directly
+// attacks the paper's bottleneck for the user side — the O(δ') (or O(√δ')
+// for OPT) encryptions of the indicator vector.
+type Precomputer struct {
+	pk *PublicKey
+	s  int
+
+	mu   sync.Mutex
+	pool []*big.Int // ready r^{N^s} mod N^{s+1} factors
+}
+
+// NewPrecomputer creates an empty pool for degree-s encryptions.
+func (pk *PublicKey) NewPrecomputer(s int) (*Precomputer, error) {
+	if s < 1 || s > MaxS {
+		return nil, fmt.Errorf("paillier: degree s=%d out of range [1,%d]", s, MaxS)
+	}
+	return &Precomputer{pk: pk, s: s}, nil
+}
+
+// Fill adds n randomness factors to the pool (the offline phase). random
+// defaults to crypto/rand.Reader when nil.
+func (p *Precomputer) Fill(random io.Reader, n int) error {
+	mod := p.pk.NS(p.s + 1)
+	ns := p.pk.NS(p.s)
+	fresh := make([]*big.Int, 0, n)
+	for i := 0; i < n; i++ {
+		r, err := p.pk.randomUnit(random)
+		if err != nil {
+			return fmt.Errorf("paillier: precomputing randomness: %w", err)
+		}
+		fresh = append(fresh, new(big.Int).Exp(r, ns, mod))
+	}
+	p.mu.Lock()
+	p.pool = append(p.pool, fresh...)
+	p.mu.Unlock()
+	return nil
+}
+
+// Size returns the number of pooled factors.
+func (p *Precomputer) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.pool)
+}
+
+// take pops one factor, or nil when the pool is empty.
+func (p *Precomputer) take() *big.Int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.pool) == 0 {
+		return nil
+	}
+	r := p.pool[len(p.pool)-1]
+	p.pool = p.pool[:len(p.pool)-1]
+	return r
+}
+
+// Encrypt encrypts m using a pooled randomness factor; when the pool is
+// empty it falls back to online randomness (and reports fromPool=false so
+// callers can meter the difference). Each pooled factor is used exactly
+// once — reuse would break semantic security.
+func (p *Precomputer) Encrypt(random io.Reader, m *big.Int) (ct *Ciphertext, fromPool bool, err error) {
+	if m.Sign() < 0 || m.Cmp(p.pk.NS(p.s)) >= 0 {
+		return nil, false, fmt.Errorf("paillier: plaintext out of range [0, N^%d)", p.s)
+	}
+	rs := p.take()
+	if rs == nil {
+		ct, err := p.pk.Encrypt(random, m, p.s)
+		return ct, false, err
+	}
+	mod := p.pk.NS(p.s + 1)
+	c := p.pk.onePlusNExp(m, p.s)
+	c.Mul(c, rs)
+	c.Mod(c, mod)
+	return &Ciphertext{C: c, S: p.s}, true, nil
+}

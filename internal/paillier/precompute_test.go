@@ -1,0 +1,115 @@
+package paillier
+
+import (
+	"math/big"
+	"testing"
+)
+
+func TestPrecomputerEncrypt(t *testing.T) {
+	k := key(t)
+	for s := 1; s <= 2; s++ {
+		pre, err := k.NewPrecomputer(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pre.Fill(nil, 5); err != nil {
+			t.Fatal(err)
+		}
+		if pre.Size() != 5 {
+			t.Fatalf("pool size %d", pre.Size())
+		}
+		for i := 0; i < 5; i++ {
+			m := big.NewInt(int64(1000 + i))
+			ct, fromPool, err := pre.Encrypt(nil, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !fromPool {
+				t.Fatalf("encryption %d did not use the pool", i)
+			}
+			got, err := k.Decrypt(ct)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Cmp(m) != 0 {
+				t.Fatalf("s=%d: pooled roundtrip = %v, want %v", s, got, m)
+			}
+		}
+		if pre.Size() != 0 {
+			t.Fatalf("pool not drained: %d", pre.Size())
+		}
+		// Fallback path: empty pool still encrypts correctly.
+		ct, fromPool, err := pre.Encrypt(nil, big.NewInt(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fromPool {
+			t.Fatal("empty pool claimed a pooled factor")
+		}
+		if got, _ := k.Decrypt(ct); got.Int64() != 7 {
+			t.Fatalf("fallback roundtrip = %v", got)
+		}
+	}
+}
+
+func TestPrecomputerValidation(t *testing.T) {
+	k := key(t)
+	if _, err := k.NewPrecomputer(0); err == nil {
+		t.Error("degree 0 accepted")
+	}
+	if _, err := k.NewPrecomputer(MaxS + 1); err == nil {
+		t.Error("degree > MaxS accepted")
+	}
+	pre, _ := k.NewPrecomputer(1)
+	if _, _, err := pre.Encrypt(nil, big.NewInt(-1)); err == nil {
+		t.Error("negative plaintext accepted")
+	}
+	if _, _, err := pre.Encrypt(nil, k.NS(1)); err == nil {
+		t.Error("oversized plaintext accepted")
+	}
+}
+
+func TestPrecomputedCiphertextsAreDistinct(t *testing.T) {
+	k := key(t)
+	pre, _ := k.NewPrecomputer(1)
+	if err := pre.Fill(nil, 2); err != nil {
+		t.Fatal(err)
+	}
+	m := big.NewInt(5)
+	c1, _, _ := pre.Encrypt(nil, m)
+	c2, _, _ := pre.Encrypt(nil, m)
+	if c1.C.Cmp(c2.C) == 0 {
+		t.Fatal("two pooled encryptions of the same plaintext were identical")
+	}
+}
+
+// The online part of a pooled encryption must be much cheaper than a full
+// encryption (that is the point of the pool).
+func BenchmarkEncryptPooled512(b *testing.B) {
+	k := benchKey(b, 512)
+	pre, err := k.NewPrecomputer(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := pre.Fill(nil, b.N); err != nil {
+		b.Fatal(err)
+	}
+	m := big.NewInt(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := pre.Encrypt(nil, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncryptOnline512(b *testing.B) {
+	k := benchKey(b, 512)
+	m := big.NewInt(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.Encrypt(nil, m, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

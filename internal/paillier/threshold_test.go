@@ -1,0 +1,181 @@
+package paillier
+
+import (
+	"math/big"
+	"testing"
+)
+
+// thresholdKeyBits keeps safe-prime generation fast in tests.
+const thresholdKeyBits = 192
+
+var cachedTK *ThresholdKey
+var cachedShares []*KeyShare
+
+func thresholdKey(t testing.TB) (*ThresholdKey, []*KeyShare) {
+	t.Helper()
+	if cachedTK == nil {
+		tk, shares, err := GenerateThresholdKey(nil, thresholdKeyBits, 5, 3, 2)
+		if err != nil {
+			t.Fatalf("GenerateThresholdKey: %v", err)
+		}
+		cachedTK = tk
+		cachedShares = shares
+	}
+	return cachedTK, cachedShares
+}
+
+func TestThresholdDecryptRoundTrip(t *testing.T) {
+	tk, shares := thresholdKey(t)
+	for s := 1; s <= 2; s++ {
+		for _, mval := range []int64{0, 1, 424242} {
+			m := big.NewInt(mval)
+			ct, err := tk.Encrypt(nil, m, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Use shares 1..3 (the threshold).
+			var ds []*DecryptionShare
+			for _, sh := range shares[:3] {
+				d, err := tk.PartialDecrypt(sh, ct)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ds = append(ds, d)
+			}
+			got, err := tk.Combine(ds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Cmp(m) != 0 {
+				t.Fatalf("s=%d m=%d: threshold decryption = %v", s, mval, got)
+			}
+		}
+	}
+}
+
+// Any subset of t shares must give the same plaintext.
+func TestThresholdAnySubset(t *testing.T) {
+	tk, shares := thresholdKey(t)
+	m := big.NewInt(987654)
+	ct, err := tk.Encrypt(nil, m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]*DecryptionShare, len(shares))
+	for i, sh := range shares {
+		all[i], err = tk.PartialDecrypt(sh, ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	subsets := [][]int{{0, 1, 2}, {0, 1, 3}, {2, 3, 4}, {0, 2, 4}, {1, 3, 4}}
+	for _, idx := range subsets {
+		ds := []*DecryptionShare{all[idx[0]], all[idx[1]], all[idx[2]]}
+		got, err := tk.Combine(ds)
+		if err != nil {
+			t.Fatalf("subset %v: %v", idx, err)
+		}
+		if got.Cmp(m) != 0 {
+			t.Fatalf("subset %v decrypted %v", idx, got)
+		}
+	}
+}
+
+// Below-threshold share counts are rejected; t−1 shares cannot recover the
+// plaintext even if force-combined through a doctored key.
+func TestThresholdInsufficientShares(t *testing.T) {
+	tk, shares := thresholdKey(t)
+	ct, _ := tk.Encrypt(nil, big.NewInt(5), 1)
+	d0, _ := tk.PartialDecrypt(shares[0], ct)
+	d1, _ := tk.PartialDecrypt(shares[1], ct)
+	if _, err := tk.Combine([]*DecryptionShare{d0, d1}); err == nil {
+		t.Fatal("combined below threshold")
+	}
+}
+
+func TestThresholdShareValidation(t *testing.T) {
+	tk, shares := thresholdKey(t)
+	ct, _ := tk.Encrypt(nil, big.NewInt(5), 1)
+	d0, _ := tk.PartialDecrypt(shares[0], ct)
+	d1, _ := tk.PartialDecrypt(shares[1], ct)
+	ct2, _ := tk.Encrypt(nil, big.NewInt(5), 2)
+	dOther, _ := tk.PartialDecrypt(shares[2], ct2)
+
+	if _, err := tk.Combine([]*DecryptionShare{d0, d1, d1}); err == nil {
+		t.Error("duplicate share accepted")
+	}
+	if _, err := tk.Combine([]*DecryptionShare{d0, d1, dOther}); err == nil {
+		t.Error("mixed-degree shares accepted")
+	}
+	bad := &DecryptionShare{Index: 99, S: 1, Value: big.NewInt(2)}
+	if _, err := tk.Combine([]*DecryptionShare{d0, d1, bad}); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := tk.PartialDecrypt(shares[0], &Ciphertext{C: big.NewInt(0), S: 1}); err == nil {
+		t.Error("zero ciphertext accepted")
+	}
+	if _, err := tk.PartialDecrypt(shares[0], &Ciphertext{C: big.NewInt(2), S: 5}); err == nil {
+		t.Error("degree above SMax accepted")
+	}
+}
+
+// Threshold decryption must compose with the homomorphic operations: the
+// group can jointly decrypt a privately selected answer.
+func TestThresholdWithHomomorphicSelection(t *testing.T) {
+	tk, shares := thresholdKey(t)
+	answers := []*big.Int{big.NewInt(111), big.NewInt(222), big.NewInt(333)}
+	v := make([]*Ciphertext, len(answers))
+	for i := range v {
+		bit := int64(0)
+		if i == 1 {
+			bit = 1
+		}
+		ct, err := tk.EncryptInt64(nil, bit, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v[i] = ct
+	}
+	sel, err := tk.DotProduct(answers, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ds []*DecryptionShare
+	for _, sh := range []*KeyShare{shares[4], shares[0], shares[2]} {
+		d, err := tk.PartialDecrypt(sh, sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds = append(ds, d)
+	}
+	got, err := tk.Combine(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(answers[1]) != 0 {
+		t.Fatalf("threshold-decrypted selection = %v, want 222", got)
+	}
+}
+
+func TestGenerateThresholdKeyValidation(t *testing.T) {
+	cases := []struct{ bits, w, tt, smax int }{
+		{16, 3, 2, 1},  // tiny key
+		{192, 2, 3, 1}, // t > w
+		{192, 3, 0, 1}, // t = 0
+		{192, 3, 2, 0}, // sMax = 0
+	}
+	for _, c := range cases {
+		if _, _, err := GenerateThresholdKey(nil, c.bits, c.w, c.tt, c.smax); err == nil {
+			t.Errorf("GenerateThresholdKey(%+v) accepted", c)
+		}
+	}
+}
+
+func TestFactorial(t *testing.T) {
+	if factorial(5).Int64() != 120 {
+		t.Fatalf("5! = %v", factorial(5))
+	}
+	if factorial(1).Int64() != 1 || factorial(0).Int64() != 1 {
+		t.Fatal("small factorial wrong")
+	}
+}

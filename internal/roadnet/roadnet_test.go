@@ -1,0 +1,241 @@
+package roadnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ppgnn/internal/dataset"
+	"ppgnn/internal/geo"
+	"ppgnn/internal/gnn"
+	"ppgnn/internal/rtree"
+)
+
+func TestGridConnected(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		g := NewGrid(seed, 10, 8, 0.5)
+		if g.NodeCount() != 80 {
+			t.Fatalf("node count %d", g.NodeCount())
+		}
+		if !g.Connected() {
+			t.Fatalf("seed %d: grid not connected", seed)
+		}
+	}
+}
+
+func TestGridDeterministic(t *testing.T) {
+	a := NewGrid(5, 6, 6, 0.4)
+	b := NewGrid(5, 6, 6, 0.4)
+	for i := 0; i < a.NodeCount(); i++ {
+		if a.Node(i) != b.Node(i) {
+			t.Fatal("grid not deterministic")
+		}
+	}
+}
+
+func TestGridPanicsTooSmall(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for 1x1 grid")
+		}
+	}()
+	NewGrid(1, 1, 1, 0)
+}
+
+// Dijkstra against Floyd–Warshall on a small random graph.
+func TestDijkstraMatchesFloydWarshall(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 40
+	nodes := make([]geo.Point, n)
+	for i := range nodes {
+		nodes[i] = geo.Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	g := NewGraph(nodes)
+	// Random edges plus a spanning chain for connectivity.
+	for i := 1; i < n; i++ {
+		g.AddEdge(i-1, i)
+	}
+	for e := 0; e < 60; e++ {
+		g.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	// Floyd–Warshall reference.
+	fw := make([][]float64, n)
+	for i := range fw {
+		fw[i] = make([]float64, n)
+		for j := range fw[i] {
+			if i != j {
+				fw[i][j] = math.Inf(1)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for _, e := range g.adj[i] {
+			if e.w < fw[i][e.to] {
+				fw[i][e.to] = e.w
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if d := fw[i][k] + fw[k][j]; d < fw[i][j] {
+					fw[i][j] = d
+				}
+			}
+		}
+	}
+	for src := 0; src < n; src += 7 {
+		got := g.ShortestDists(src)
+		for dst := 0; dst < n; dst++ {
+			if math.Abs(got[dst]-fw[src][dst]) > 1e-9 {
+				t.Fatalf("dist(%d,%d) = %v, Floyd-Warshall %v", src, dst, got[dst], fw[src][dst])
+			}
+		}
+	}
+}
+
+// Network distance can never beat the straight line between graph nodes.
+func TestNetworkDistanceAtLeastEuclidean(t *testing.T) {
+	g := NewGrid(3, 12, 12, 0.3)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		a := geo.Point{X: rng.Float64(), Y: rng.Float64()}
+		b := geo.Point{X: rng.Float64(), Y: rng.Float64()}
+		na, nb := g.NearestNode(a), g.NearestNode(b)
+		netd := g.ShortestDists(na)[nb]
+		if netd < g.Node(na).Dist(g.Node(nb))-1e-9 {
+			t.Fatalf("network distance %v below Euclidean %v", netd, g.Node(na).Dist(g.Node(nb)))
+		}
+	}
+}
+
+func TestDistSymmetric(t *testing.T) {
+	g := NewGrid(11, 8, 8, 0.4)
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		a := geo.Point{X: rng.Float64(), Y: rng.Float64()}
+		b := geo.Point{X: rng.Float64(), Y: rng.Float64()}
+		if d1, d2 := g.Dist(a, b), g.Dist(b, a); math.Abs(d1-d2) > 1e-9 {
+			t.Fatalf("Dist not symmetric: %v vs %v", d1, d2)
+		}
+	}
+}
+
+func TestAddEdgeIdempotent(t *testing.T) {
+	g := NewGraph([]geo.Point{{X: 0, Y: 0}, {X: 1, Y: 0}})
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(0, 0) // self-loop: no-op
+	if len(g.adj[0]) != 1 || len(g.adj[1]) != 1 {
+		t.Fatalf("duplicate edges: %d, %d", len(g.adj[0]), len(g.adj[1]))
+	}
+}
+
+// The searcher must match a brute-force evaluation of the same metric.
+func TestSearcherMatchesBruteForce(t *testing.T) {
+	g := NewGrid(17, 10, 10, 0.4)
+	pois := dataset.Synthetic(21, 300)
+	rng := rand.New(rand.NewSource(23))
+	for _, agg := range []gnn.Aggregate{gnn.Sum, gnn.Max, gnn.Min} {
+		s := NewSearcher(g, pois, agg)
+		for trial := 0; trial < 5; trial++ {
+			query := make([]geo.Point, 1+rng.Intn(5))
+			for i := range query {
+				query[i] = geo.Point{X: rng.Float64(), Y: rng.Float64()}
+			}
+			got := s.Search(query, 10)
+			// Brute force: evaluate the identical snapped network metric.
+			type scored struct {
+				id   int64
+				cost float64
+			}
+			var all []scored
+			perUser := make([]float64, len(query))
+			for _, poi := range pois {
+				for ui, q := range query {
+					perUser[ui] = g.Dist(q, poi.P)
+				}
+				all = append(all, scored{poi.ID, agg.Combine(perUser)})
+			}
+			for i := range got {
+				// Find brute-force cost for this POI and ensure no POI beats it
+				// that is ranked later.
+				var mine float64
+				for _, sc := range all {
+					if sc.id == got[i].Item.ID {
+						mine = sc.cost
+					}
+				}
+				if math.Abs(mine-got[i].Cost) > 1e-9 {
+					t.Fatalf("%v: cost mismatch for POI %d: %v vs %v", agg, got[i].Item.ID, got[i].Cost, mine)
+				}
+			}
+			// Ranking: every returned cost ≤ every non-returned cost.
+			maxRet := got[len(got)-1].Cost
+			retIDs := map[int64]bool{}
+			for _, r := range got {
+				retIDs[r.Item.ID] = true
+			}
+			for _, sc := range all {
+				if !retIDs[sc.id] && sc.cost < maxRet-1e-9 {
+					t.Fatalf("%v: POI %d with cost %v should have been returned (max returned %v)",
+						agg, sc.id, sc.cost, maxRet)
+				}
+			}
+		}
+	}
+}
+
+func TestSearcherEdgeCases(t *testing.T) {
+	g := NewGrid(29, 4, 4, 0.2)
+	s := NewSearcher(g, nil, gnn.Sum)
+	if s.Search([]geo.Point{{X: 0.5, Y: 0.5}}, 3) != nil {
+		t.Error("empty POI set should return nil")
+	}
+	s2 := NewSearcher(g, dataset.Synthetic(1, 10), gnn.Sum)
+	if s2.Search(nil, 3) != nil {
+		t.Error("empty query should return nil")
+	}
+	if s2.Search([]geo.Point{{X: 0.5, Y: 0.5}}, 0) != nil {
+		t.Error("k=0 should return nil")
+	}
+	if got := s2.Search([]geo.Point{{X: 0.5, Y: 0.5}}, 100); len(got) != 10 {
+		t.Errorf("k>size returned %d", len(got))
+	}
+}
+
+func TestSearcherDisconnectedPOI(t *testing.T) {
+	// A POI snapped to an unreachable island is skipped.
+	nodes := []geo.Point{{X: 0.1, Y: 0.1}, {X: 0.2, Y: 0.1}, {X: 0.9, Y: 0.9}}
+	g := NewGraph(nodes)
+	g.AddEdge(0, 1) // node 2 is an island
+	pois := []rtree.Item{
+		{ID: 1, P: geo.Point{X: 0.15, Y: 0.1}},
+		{ID: 2, P: geo.Point{X: 0.9, Y: 0.88}}, // snaps to the island
+	}
+	s := NewSearcher(g, pois, gnn.Sum)
+	got := s.Search([]geo.Point{{X: 0.1, Y: 0.12}}, 5)
+	if len(got) != 1 || got[0].Item.ID != 1 {
+		t.Fatalf("expected only the reachable POI, got %v", got)
+	}
+}
+
+func BenchmarkDijkstra(b *testing.B) {
+	g := NewGrid(1, 50, 50, 0.4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ShortestDists(i % g.NodeCount())
+	}
+}
+
+func BenchmarkRoadnetGroupSearch(b *testing.B) {
+	g := NewGrid(1, 40, 40, 0.4)
+	pois := dataset.Synthetic(2, 5000)
+	s := NewSearcher(g, pois, gnn.Sum)
+	query := []geo.Point{{X: 0.2, Y: 0.3}, {X: 0.7, Y: 0.6}, {X: 0.5, Y: 0.8}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Search(query, 8)
+	}
+}

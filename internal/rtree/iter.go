@@ -1,0 +1,71 @@
+package rtree
+
+import (
+	"container/heap"
+
+	"ppgnn/internal/geo"
+)
+
+// NearestIter streams the tree's items in ascending distance from a query
+// point, one at a time — the incremental nearest-neighbor primitive used
+// by the SPM and MQM group-query algorithms, which do not know in advance
+// how many neighbors they need.
+//
+// The iterator is a snapshot-free view: mutating the tree while iterating
+// is not supported.
+type NearestIter struct {
+	p  geo.Point
+	pq entryQueue
+}
+
+// NearestIter starts an incremental nearest-neighbor scan from p.
+func (t *Tree) NearestIter(p geo.Point) *NearestIter {
+	it := &NearestIter{p: p}
+	if t.size > 0 {
+		heap.Push(&it.pq, queueEntry{dist: t.root.rect.MinDist(p), node: t.root})
+	}
+	return it
+}
+
+// Next returns the next nearest item and its distance; ok is false when the
+// tree is exhausted.
+func (it *NearestIter) Next() (item Item, dist float64, ok bool) {
+	for it.pq.Len() > 0 {
+		e := heap.Pop(&it.pq).(queueEntry)
+		switch {
+		case e.node != nil && e.node.leaf:
+			for _, li := range e.node.items {
+				heap.Push(&it.pq, queueEntry{dist: it.p.Dist(li.P), item: li, isItem: true})
+			}
+		case e.node != nil:
+			for _, c := range e.node.children {
+				heap.Push(&it.pq, queueEntry{dist: c.rect.MinDist(it.p), node: c})
+			}
+		default:
+			return e.item, e.dist, true
+		}
+	}
+	return Item{}, 0, false
+}
+
+// Peek returns the distance of the next item without consuming it; ok is
+// false when exhausted. It may expand internal nodes to find the answer.
+func (it *NearestIter) Peek() (dist float64, ok bool) {
+	for it.pq.Len() > 0 {
+		e := it.pq[0]
+		if e.isItem {
+			return e.dist, true
+		}
+		e = heap.Pop(&it.pq).(queueEntry)
+		if e.node.leaf {
+			for _, li := range e.node.items {
+				heap.Push(&it.pq, queueEntry{dist: it.p.Dist(li.P), item: li, isItem: true})
+			}
+		} else {
+			for _, c := range e.node.children {
+				heap.Push(&it.pq, queueEntry{dist: c.rect.MinDist(it.p), node: c})
+			}
+		}
+	}
+	return 0, false
+}

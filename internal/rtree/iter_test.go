@@ -1,0 +1,95 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"ppgnn/internal/geo"
+)
+
+func TestNearestIterMatchesNearestK(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	items := randomItems(rng, 1500)
+	tr := Bulk(items, 16)
+	for trial := 0; trial < 20; trial++ {
+		q := geo.Point{X: rng.Float64(), Y: rng.Float64()}
+		want := tr.NearestK(q, 100)
+		it := tr.NearestIter(q)
+		for i, w := range want {
+			got, dist, ok := it.Next()
+			if !ok {
+				t.Fatalf("iterator exhausted at %d", i)
+			}
+			if got.ID != w.Item.ID {
+				t.Fatalf("trial %d rank %d: iter %d, NearestK %d", trial, i, got.ID, w.Item.ID)
+			}
+			if dist != w.Dist {
+				t.Fatalf("distance mismatch at rank %d", i)
+			}
+		}
+	}
+}
+
+func TestNearestIterExhaustsAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	items := randomItems(rng, 237)
+	tr := Bulk(items, 8)
+	it := tr.NearestIter(geo.Point{X: 0.5, Y: 0.5})
+	seen := map[int64]bool{}
+	prev := -1.0
+	for {
+		item, dist, ok := it.Next()
+		if !ok {
+			break
+		}
+		if dist < prev {
+			t.Fatal("distances not non-decreasing")
+		}
+		prev = dist
+		if seen[item.ID] {
+			t.Fatalf("item %d emitted twice", item.ID)
+		}
+		seen[item.ID] = true
+	}
+	if len(seen) != len(items) {
+		t.Fatalf("iterator emitted %d of %d items", len(seen), len(items))
+	}
+	// Next after exhaustion stays exhausted.
+	if _, _, ok := it.Next(); ok {
+		t.Fatal("exhausted iterator produced an item")
+	}
+}
+
+func TestNearestIterEmptyTree(t *testing.T) {
+	tr := New(4)
+	it := tr.NearestIter(geo.Point{X: 0.1, Y: 0.1})
+	if _, _, ok := it.Next(); ok {
+		t.Fatal("empty tree produced an item")
+	}
+	if _, ok := it.Peek(); ok {
+		t.Fatal("empty tree peeked an item")
+	}
+}
+
+func TestNearestIterPeek(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	items := randomItems(rng, 300)
+	tr := Bulk(items, 8)
+	it := tr.NearestIter(geo.Point{X: 0.3, Y: 0.7})
+	for i := 0; i < 300; i++ {
+		pd, ok := it.Peek()
+		if !ok {
+			t.Fatalf("peek failed at %d", i)
+		}
+		_, nd, ok := it.Next()
+		if !ok {
+			t.Fatalf("next failed at %d", i)
+		}
+		if pd != nd {
+			t.Fatalf("peek %v != next %v at %d", pd, nd, i)
+		}
+	}
+	if _, ok := it.Peek(); ok {
+		t.Fatal("peek after exhaustion")
+	}
+}

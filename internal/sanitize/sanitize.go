@@ -1,0 +1,282 @@
+// Package sanitize implements Section 5 of the paper: the full-user-
+// collusion inequality attack and the answer sanitation that defeats it.
+//
+// Given a ranked answer P = {p_1, …, p_k} for query locations C, any n−1
+// colluding users know every location but the target's and can intersect
+// the k−1 inequalities F(p_i, C) ≤ F(p_{i+1}, C) to bound the target's
+// location (Eqn 14). Privacy IV holds iff the feasible region's relative
+// area θ exceeds θ0 for every target user.
+//
+// The LSP defends by simulating the attack itself: it returns the longest
+// prefix P' of P such that, for every target user, a one-tailed Z-test
+// (Eqn 16) over N_H uniform samples (Eqn 17) rejects H0: θ ≤ θ0. Testing
+// only requires evaluating the inequalities at sample points, so the
+// method works for any monotone aggregate F and any space shape (§5.3).
+//
+// The implementation filters the sample set incrementally: extending the
+// prefix by one POI adds exactly one inequality, so only the samples that
+// survived the previous inequalities are re-tested. This is why the LSP
+// cost plateaus as k grows (paper Figure 6f).
+package sanitize
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ppgnn/internal/geo"
+	"ppgnn/internal/gnn"
+	"ppgnn/internal/stats"
+)
+
+// Paper-default hypothesis-testing parameters (Section 5.3).
+const (
+	DefaultGamma = 0.05 // Type I error bound γ
+	DefaultEta   = 0.2  // Type II error bound η
+	DefaultPhi   = 0.1  // ratio difference φ between θ1 and θ0
+)
+
+// Config parameterizes the sanitizer.
+type Config struct {
+	Theta0 float64       // Privacy IV parameter θ0 ∈ (0,1]
+	Gamma  float64       // Type I error bound (DefaultGamma if 0)
+	Eta    float64       // Type II error bound (DefaultEta if 0)
+	Phi    float64       // θ1/θ0 − 1 (DefaultPhi if 0)
+	Space  geo.Rect      // the location space to sample from
+	Agg    gnn.Aggregate // the aggregate F of the query
+}
+
+func (c Config) withDefaults() Config {
+	if c.Gamma == 0 {
+		c.Gamma = DefaultGamma
+	}
+	if c.Eta == 0 {
+		c.Eta = DefaultEta
+	}
+	if c.Phi == 0 {
+		c.Phi = DefaultPhi
+	}
+	if !c.Space.Valid() || c.Space.Area() == 0 {
+		c.Space = geo.UnitRect
+	}
+	return c
+}
+
+// SampleSize returns N_H for this configuration (Theorem 5.1).
+func (c Config) SampleSize() int {
+	c = c.withDefaults()
+	return stats.SampleSize(c.Theta0, c.Gamma, c.Eta, c.Phi)
+}
+
+// Sanitize returns the longest safe prefix of the ranked answer for the
+// query (Section 5.2). The rng drives the Monte-Carlo sampling; use a
+// per-candidate seeded source for reproducible experiments.
+//
+// For n ≤ 1 there are no other users and Privacy IV does not apply, so the
+// answer is returned unchanged. A one-element prefix is always safe.
+func (c Config) Sanitize(rng *rand.Rand, answer []gnn.Result, query []geo.Point) []gnn.Result {
+	c = c.withDefaults()
+	if len(query) <= 1 || len(answer) <= 1 {
+		return answer
+	}
+	if c.Theta0 <= 0 || c.Theta0 > 1 {
+		panic(fmt.Sprintf("sanitize: θ0=%v outside (0,1]", c.Theta0))
+	}
+	nh := c.SampleSize()
+	test := stats.ZTest{Theta0: c.Theta0, Gamma: c.Gamma}
+	threshold := test.Threshold(nh)
+
+	// Per-target incremental attack state.
+	states := make([]*attackState, len(query))
+	for u := range query {
+		states[u] = newAttackState(c, rng, answer, query, u, nh)
+	}
+
+	// Extend the prefix while every target user's feasible region stays
+	// large enough. Prefix length t covers inequalities 1..t−1; going from
+	// t to t+1 adds the single inequality F(p_t) ≤ F(p_{t+1}).
+	safe := 1
+	for t := 1; t < len(answer); t++ {
+		ok := true
+		for _, st := range states {
+			if float64(st.addInequality(t)) <= threshold {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			break
+		}
+		safe = t + 1
+	}
+	return answer[:safe]
+}
+
+// AttackTheta estimates, from the colluders' side, the relative area θ of
+// the region consistent with a received (already sanitized) answer for a
+// given target user. It is the attack of Section 5.1 and is used by tests
+// and examples to verify Privacy IV empirically.
+func (c Config) AttackTheta(rng *rand.Rand, answer []gnn.Result, query []geo.Point, target, samples int) float64 {
+	c = c.withDefaults()
+	if target < 0 || target >= len(query) {
+		panic("sanitize: target user out of range")
+	}
+	if samples <= 0 {
+		samples = c.SampleSize()
+	}
+	st := newAttackState(c, rng, answer, query, target, samples)
+	surv := samples
+	for t := 1; t < len(answer); t++ {
+		surv = st.addInequality(t)
+	}
+	return float64(surv) / float64(samples)
+}
+
+// attackState tracks, for one target user, the sample points that still
+// satisfy every inequality added so far.
+type attackState struct {
+	cfg    Config
+	answer []gnn.Result
+	// partial[i] is the aggregate state of answer[i] over all non-target
+	// users; combining it with dist(p_i, X) yields F(p_i, C[target→X]).
+	partial   []float64 // aggregate over the non-target users; see combine
+	survivors []geo.Point
+}
+
+func newAttackState(c Config, rng *rand.Rand, answer []gnn.Result, query []geo.Point, target, nh int) *attackState {
+	st := &attackState{cfg: c, answer: answer}
+	st.partial = make([]float64, len(answer))
+	for i, res := range answer {
+		st.partial[i] = partialAggregate(c.Agg, res.Item.P, query, target)
+	}
+	st.survivors = make([]geo.Point, nh)
+	for i := range st.survivors {
+		st.survivors[i] = geo.Point{
+			X: c.Space.Min.X + rng.Float64()*c.Space.Width(),
+			Y: c.Space.Min.Y + rng.Float64()*c.Space.Height(),
+		}
+	}
+	return st
+}
+
+// partialAggregate computes the aggregate of dist(p, l_j) over j != target.
+// For Sum it is the partial sum; for Max/Min the partial extreme.
+func partialAggregate(agg gnn.Aggregate, p geo.Point, query []geo.Point, target int) float64 {
+	switch agg {
+	case gnn.Sum:
+		s := 0.0
+		for j, l := range query {
+			if j != target {
+				s += p.Dist(l)
+			}
+		}
+		return s
+	case gnn.Max:
+		m := 0.0
+		for j, l := range query {
+			if j != target {
+				if d := p.Dist(l); d > m {
+					m = d
+				}
+			}
+		}
+		return m
+	case gnn.Min:
+		m := math.Inf(1)
+		for j, l := range query {
+			if j != target {
+				if d := p.Dist(l); d < m {
+					m = d
+				}
+			}
+		}
+		return m
+	default:
+		panic("sanitize: unknown aggregate")
+	}
+}
+
+// combine folds the target's distance into a partial aggregate.
+func combine(agg gnn.Aggregate, partial, d float64) float64 {
+	switch agg {
+	case gnn.Sum:
+		return partial + d
+	case gnn.Max:
+		if d > partial {
+			return d
+		}
+		return partial
+	case gnn.Min:
+		if d < partial {
+			return d
+		}
+		return partial
+	default:
+		panic("sanitize: unknown aggregate")
+	}
+}
+
+// addInequality filters the surviving samples with inequality
+// F(p_t) ≤ F(p_{t+1}) (0-based: answer[t-1] vs answer[t]) and returns the
+// surviving count.
+func (st *attackState) addInequality(t int) int {
+	pa := st.answer[t-1].Item.P
+	pb := st.answer[t].Item.P
+	parA := st.partial[t-1]
+	parB := st.partial[t]
+	agg := st.cfg.Agg
+	out := st.survivors[:0]
+	for _, x := range st.survivors {
+		costA := combine(agg, parA, pa.Dist(x))
+		costB := combine(agg, parB, pb.Dist(x))
+		if costA <= costB {
+			out = append(out, x)
+		}
+	}
+	st.survivors = out
+	return len(out)
+}
+
+// GridTheta estimates the attack region deterministically by testing a
+// gridSize×gridSize lattice of cell centers instead of random samples. It
+// is used to cross-validate the Monte-Carlo estimator (the Z-test needs
+// i.i.d. samples, so the protocol itself uses AttackTheta/Sanitize; the
+// lattice gives a reproducible reference).
+func (c Config) GridTheta(answer []gnn.Result, query []geo.Point, target, gridSize int) float64 {
+	c = c.withDefaults()
+	if target < 0 || target >= len(query) {
+		panic("sanitize: target user out of range")
+	}
+	if gridSize < 1 {
+		panic("sanitize: grid size must be positive")
+	}
+	if len(answer) <= 1 {
+		return 1
+	}
+	partials := make([]float64, len(answer))
+	for i, res := range answer {
+		partials[i] = partialAggregate(c.Agg, res.Item.P, query, target)
+	}
+	inside := 0
+	for gy := 0; gy < gridSize; gy++ {
+		for gx := 0; gx < gridSize; gx++ {
+			x := geo.Point{
+				X: c.Space.Min.X + (float64(gx)+0.5)/float64(gridSize)*c.Space.Width(),
+				Y: c.Space.Min.Y + (float64(gy)+0.5)/float64(gridSize)*c.Space.Height(),
+			}
+			ok := true
+			for t := 1; t < len(answer); t++ {
+				costA := combine(c.Agg, partials[t-1], answer[t-1].Item.P.Dist(x))
+				costB := combine(c.Agg, partials[t], answer[t].Item.P.Dist(x))
+				if costA > costB {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				inside++
+			}
+		}
+	}
+	return float64(inside) / float64(gridSize*gridSize)
+}

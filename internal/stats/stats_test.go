@@ -1,0 +1,226 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959963984540054},
+		{0.95, 1.6448536269514722},
+		{0.8, 0.8416212335729143},
+		{0.025, -1.959963984540054},
+		{0.9999, 3.719016485455709},
+		{0.0001, -3.719016485455709},
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantilePanicsOutOfRange(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NormalQuantile(%v) did not panic", p)
+				}
+			}()
+			NormalQuantile(p)
+		}()
+	}
+}
+
+// Property: NormalCDF(NormalQuantile(p)) == p.
+func TestQuantileCDFInverse(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Rand:     rand.New(rand.NewSource(2)),
+		Values:   nil,
+	}
+	f := func(u uint32) bool {
+		p := (float64(u) + 1) / (float64(math.MaxUint32) + 2) // in (0,1)
+		z := NormalQuantile(p)
+		return math.Abs(NormalCDF(z)-p) < 1e-12
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantileSymmetry(t *testing.T) {
+	for _, p := range []float64{0.01, 0.1, 0.25, 0.4} {
+		if got := NormalQuantile(p) + NormalQuantile(1-p); math.Abs(got) > 1e-10 {
+			t.Errorf("quantile not symmetric at p=%v: sum=%v", p, got)
+		}
+	}
+}
+
+func TestCriticalZ(t *testing.T) {
+	// The paper uses γ=0.05 → z ≈ 1.645 and η=0.2 → z ≈ 0.8416.
+	if got := CriticalZ(0.05); math.Abs(got-1.6448536269514722) > 1e-9 {
+		t.Errorf("CriticalZ(0.05) = %v", got)
+	}
+	if got := CriticalZ(0.2); math.Abs(got-0.8416212335729143) > 1e-9 {
+		t.Errorf("CriticalZ(0.2) = %v", got)
+	}
+}
+
+func TestZTestRejectH0(t *testing.T) {
+	zt := ZTest{Theta0: 0.05, Gamma: 0.05}
+	n := 1000
+	// Expected under H0 boundary: 50 + 1.645*sqrt(47.5) ≈ 61.3.
+	if zt.RejectH0(61, n) {
+		t.Error("x=61 should not reject H0 at n=1000")
+	}
+	if !zt.RejectH0(62, n) {
+		t.Error("x=62 should reject H0 at n=1000")
+	}
+	// Threshold consistency.
+	thr := zt.Threshold(n)
+	for x := 0; x <= n; x += 7 {
+		if got, want := zt.RejectH0(x, n), float64(x) > thr; got != want {
+			t.Fatalf("RejectH0(%d) = %v inconsistent with Threshold %v", x, got, thr)
+		}
+	}
+}
+
+func TestSampleSizePaperDefaults(t *testing.T) {
+	// γ=0.05, η=0.2, φ=0.1: for θ0=0.05 the required N_H is large (tens of
+	// thousands) because θ1-θ0 = 0.005 is small.
+	n := SampleSize(0.05, 0.05, 0.2, 0.1)
+	if n < 10000 || n > 200000 {
+		t.Errorf("SampleSize(0.05) = %d, outside plausible range", n)
+	}
+	// Verify against the closed form directly.
+	zg, ze := CriticalZ(0.05), CriticalZ(0.2)
+	th0, th1 := 0.05, 0.055
+	want := math.Pow((zg*math.Sqrt(th0*(1-th0))+ze*math.Sqrt(th1*(1-th1)))/(th1-th0), 2)
+	if math.Abs(float64(n)-math.Ceil(want)) > 0.5 {
+		t.Errorf("SampleSize = %d, closed form = %v", n, want)
+	}
+}
+
+// A stronger privacy level (larger θ0) needs fewer samples — the effect the
+// paper reports in Figure 6l.
+func TestSampleSizeDecreasesWithTheta0(t *testing.T) {
+	prev := math.MaxInt64
+	for _, th := range []float64{0.01, 0.02, 0.05, 0.1} {
+		n := SampleSize(th, 0.05, 0.2, 0.1)
+		if n >= prev {
+			t.Fatalf("SampleSize(%v) = %d did not decrease (prev %d)", th, n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestSampleSizePanics(t *testing.T) {
+	bad := [][4]float64{
+		{0, 0.05, 0.2, 0.1},    // θ0 = 0
+		{0.95, 0.05, 0.2, 0.1}, // θ1 > 1
+		{0.05, 0, 0.2, 0.1},    // γ = 0
+		{0.05, 0.05, 1, 0.1},   // η = 1
+		{0.05, 0.05, 0.2, 0},   // φ = 0 → θ1 = θ0
+	}
+	for _, c := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SampleSize(%v) did not panic", c)
+				}
+			}()
+			SampleSize(c[0], c[1], c[2], c[3])
+		}()
+	}
+}
+
+// Monte-Carlo check: the Z-test's Type I error is near γ.
+func TestZTestTypeIErrorRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	zt := ZTest{Theta0: 0.05, Gamma: 0.05}
+	n := 2000
+	rejections := 0
+	const trials = 2000
+	for trial := 0; trial < trials; trial++ {
+		x := 0
+		for i := 0; i < n; i++ {
+			if rng.Float64() < zt.Theta0 { // H0 boundary: θ = θ0
+				x++
+			}
+		}
+		if zt.RejectH0(x, n) {
+			rejections++
+		}
+	}
+	rate := float64(rejections) / trials
+	if rate > 0.075 { // γ=0.05 plus generous Monte-Carlo slack
+		t.Errorf("Type I error rate %v far above γ=0.05", rate)
+	}
+}
+
+func TestBinomialSFKnownValues(t *testing.T) {
+	// Hand-computable cases.
+	if got := BinomialSF(1, 2, 0.5); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("SF(1;2,0.5) = %v, want 0.75", got)
+	}
+	if got := BinomialSF(2, 2, 0.5); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("SF(2;2,0.5) = %v, want 0.25", got)
+	}
+	if got := BinomialSF(0, 10, 0.3); got != 1 {
+		t.Fatalf("SF(0) = %v, want 1", got)
+	}
+	if got := BinomialSF(11, 10, 0.3); got != 0 {
+		t.Fatalf("SF(n+1) = %v, want 0", got)
+	}
+	if got := BinomialSF(3, 10, 0); got != 0 {
+		t.Fatalf("SF with p=0 = %v", got)
+	}
+	if got := BinomialSF(3, 10, 1); got != 1 {
+		t.Fatalf("SF with p=1 = %v", got)
+	}
+	// Monotone decreasing in x.
+	prev := 1.1
+	for x := 0; x <= 20; x++ {
+		v := BinomialSF(x, 20, 0.4)
+		if v > prev+1e-12 {
+			t.Fatalf("SF not monotone at x=%d", x)
+		}
+		prev = v
+	}
+}
+
+func TestBinomialSFMatchesNormalApprox(t *testing.T) {
+	// At the sanitizer's scale the exact test and the Z-test agree on the
+	// rejection decision near (but not exactly at) the boundary.
+	zt := ZTest{Theta0: 0.05, Gamma: 0.05}
+	n := 5000
+	thr := int(zt.Threshold(n))
+	for _, x := range []int{thr - 20, thr + 21} {
+		if got, want := zt.RejectH0Exact(x, n), zt.RejectH0(x, n); got != want {
+			t.Fatalf("x=%d: exact=%v, normal=%v", x, got, want)
+		}
+	}
+}
+
+func TestBinomialSFPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { BinomialSF(-1, 5, 0.5) },
+		func() { BinomialSF(1, -5, 0.5) },
+		func() { BinomialSF(1, 5, 1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic on invalid BinomialSF input")
+				}
+			}()
+			fn()
+		}()
+	}
+}

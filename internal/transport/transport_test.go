@@ -1,0 +1,252 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"ppgnn/internal/core"
+	"ppgnn/internal/cost"
+	"ppgnn/internal/dataset"
+	"ppgnn/internal/geo"
+)
+
+func startServer(t *testing.T, nPOIs int) (*Server, string) {
+	t.Helper()
+	lsp := core.NewLSP(dataset.Synthetic(5, nPOIs), geo.UnitRect)
+	srv := NewServer(lsp)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr.String()
+}
+
+func testParams(n int, variant core.Variant) core.Params {
+	p := core.DefaultParams(n)
+	p.KeyBits = 256
+	p.D = 5
+	p.Delta = 10
+	if n == 1 {
+		p.Delta = p.D
+	}
+	p.K = 4
+	p.Variant = variant
+	p.NoSanitize = true
+	return p
+}
+
+func TestQueryOverTCP(t *testing.T) {
+	_, addr := startServer(t, 2000)
+	for _, variant := range []core.Variant{core.VariantPPGNN, core.VariantOPT, core.VariantNaive} {
+		rng := rand.New(rand.NewSource(1))
+		p := testParams(3, variant)
+		locs := []geo.Point{{X: 0.2, Y: 0.3}, {X: 0.4, Y: 0.5}, {X: 0.3, Y: 0.4}}
+		g, err := core.NewGroup(p, locs, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m cost.Meter
+		cli.Meter = &m
+		res, err := g.Run(cli, nil)
+		cli.Close()
+		if err != nil {
+			t.Fatalf("%v: %v", variant, err)
+		}
+		if len(res.Points) == 0 {
+			t.Fatalf("%v: empty answer", variant)
+		}
+		// Compare with a local in-process run of the same group state.
+		lsp := core.NewLSP(dataset.Synthetic(5, 2000), geo.UnitRect)
+		g2, err := core.NewGroup(p, locs, rand.New(rand.NewSource(1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res2, err := g2.Run(core.LocalService{LSP: lsp}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Points) != len(res2.Points) {
+			t.Fatalf("%v: remote %d POIs, local %d", variant, len(res.Points), len(res2.Points))
+		}
+		for i := range res.Points {
+			if res.Points[i].Dist(res2.Points[i]) > 1e-9 {
+				t.Fatalf("%v: remote/local answers differ at %d", variant, i)
+			}
+		}
+		if m.Snapshot().TotalBytes() == 0 {
+			t.Fatalf("%v: client meter recorded nothing", variant)
+		}
+	}
+}
+
+func TestSingleUserOverTCP(t *testing.T) {
+	_, addr := startServer(t, 1000)
+	p := testParams(1, core.VariantPPGNN)
+	g, err := core.NewGroup(p, []geo.Point{{X: 0.7, Y: 0.7}}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	res, err := g.Run(cli, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != p.K {
+		t.Fatalf("got %d POIs, want %d", len(res.Points), p.K)
+	}
+}
+
+func TestMultipleQueriesOneConnection(t *testing.T) {
+	_, addr := startServer(t, 1000)
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	p := testParams(2, core.VariantPPGNN)
+	g, err := core.NewGroup(p, []geo.Point{{X: 0.2, Y: 0.2}, {X: 0.3, Y: 0.3}}, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := g.Run(cli, nil); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+}
+
+func TestServerRejectsBadQuery(t *testing.T) {
+	_, addr := startServer(t, 500)
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	p := testParams(2, core.VariantPPGNN)
+	g, err := core.NewGroup(p, []geo.Point{{X: 0.2, Y: 0.2}, {X: 0.3, Y: 0.3}}, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, locs, err := g.BuildQuery(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.V = q.V[:len(q.V)-1] // corrupt the indicator length
+	if _, err := cli.Process(q, locs); err == nil {
+		t.Fatal("server accepted corrupt query")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	_, addr := startServer(t, 1000)
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			p := testParams(2, core.VariantPPGNN)
+			rng := rand.New(rand.NewSource(seed))
+			g, err := core.NewGroup(p, []geo.Point{{X: 0.2, Y: 0.6}, {X: 0.5, Y: 0.1}}, rng)
+			if err != nil {
+				errs <- err
+				return
+			}
+			cli, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cli.Close()
+			if _, err := g.Run(cli, nil); err != nil {
+				errs <- err
+			}
+		}(int64(i + 10))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv, _ := startServer(t, 100)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestAddrBeforeListen(t *testing.T) {
+	srv := NewServer(core.NewLSP(dataset.Synthetic(1, 10), geo.UnitRect))
+	if _, err := srv.Addr(); err == nil {
+		t.Fatal("Addr before Listen succeeded")
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	got, err := srv.Addr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != addr.String() {
+		t.Fatalf("Addr = %v, Listen returned %v", got, addr)
+	}
+}
+
+func TestServerLogf(t *testing.T) {
+	srv, addr := startServer(t, 100)
+	logged := make(chan string, 8)
+	srv.Logf = func(format string, args ...interface{}) {
+		select {
+		case logged <- format:
+		default:
+		}
+	}
+	// A corrupted query triggers a logged session error.
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testParams(2, core.VariantPPGNN)
+	g, err := core.NewGroup(p, []geo.Point{{X: 0.1, Y: 0.1}, {X: 0.2, Y: 0.2}}, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, locs, err := g.BuildQuery(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.K = 0 // invalid: the server rejects and logs
+	if _, err := cli.Process(q, locs); err == nil {
+		t.Fatal("invalid query accepted")
+	}
+	cli.Close()
+	select {
+	case <-logged:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no session diagnostic logged")
+	}
+}

@@ -1,0 +1,277 @@
+// Package wire provides the binary serialization substrate the protocol
+// messages are built on, plus length-prefixed framing for running the
+// protocol across a TCP connection (the base-station channel of the system
+// model, Section 2). All encodings are deterministic so that message byte
+// counts — the paper's communication-cost metric — are reproducible.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/big"
+)
+
+// ErrTruncated reports that a reader ran out of input mid-value.
+var ErrTruncated = errors.New("wire: truncated input")
+
+// MaxFrameSize bounds a single framed message (16 MiB), protecting servers
+// from hostile length prefixes.
+const MaxFrameSize = 16 << 20
+
+// Writer builds a binary message. The zero value is ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// Bytes returns the accumulated encoding.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Uvarint appends a varint-encoded unsigned integer.
+func (w *Writer) Uvarint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
+// Uint32 appends a fixed 4-byte big-endian integer.
+func (w *Writer) Uint32(v uint32) {
+	w.buf = binary.BigEndian.AppendUint32(w.buf, v)
+}
+
+// Float64 appends an IEEE-754 double.
+func (w *Writer) Float64(v float64) {
+	w.buf = binary.BigEndian.AppendUint64(w.buf, math.Float64bits(v))
+}
+
+// Bool appends a single byte 0/1.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.buf = append(w.buf, 1)
+	} else {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+// BytesField appends a length-prefixed byte string.
+func (w *Writer) BytesField(b []byte) {
+	w.Uvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// BigInt appends a length-prefixed big integer (non-negative).
+func (w *Writer) BigInt(v *big.Int) {
+	if v.Sign() < 0 {
+		panic("wire: negative big.Int")
+	}
+	w.BytesField(v.Bytes())
+}
+
+// FixedBigInt appends v zero-padded to exactly size bytes; it panics if v
+// does not fit. Fixed-width encoding keeps ciphertext message sizes
+// deterministic, matching the L_e cost model.
+func (w *Writer) FixedBigInt(v *big.Int, size int) {
+	if v.Sign() < 0 {
+		panic("wire: negative big.Int")
+	}
+	if (v.BitLen()+7)/8 > size {
+		panic(fmt.Sprintf("wire: big.Int of %d bytes exceeds fixed size %d", (v.BitLen()+7)/8, size))
+	}
+	start := len(w.buf)
+	w.buf = append(w.buf, make([]byte, size)...)
+	v.FillBytes(w.buf[start:])
+}
+
+// IntSlice appends a length-prefixed slice of uvarint-encoded ints.
+func (w *Writer) IntSlice(vs []int) {
+	w.Uvarint(uint64(len(vs)))
+	for _, v := range vs {
+		if v < 0 {
+			panic("wire: negative int in IntSlice")
+		}
+		w.Uvarint(uint64(v))
+	}
+}
+
+// Reader decodes a binary message produced by Writer.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps a byte slice.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the first decoding error encountered.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// Uvarint reads a varint-encoded unsigned integer.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Int reads a uvarint and converts it to int, failing on overflow.
+func (r *Reader) Int() int {
+	v := r.Uvarint()
+	if v > math.MaxInt32 {
+		r.fail(fmt.Errorf("wire: integer %d out of range", v))
+		return 0
+	}
+	return int(v)
+}
+
+// Uint32 reads a fixed 4-byte big-endian integer.
+func (r *Reader) Uint32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if r.Remaining() < 4 {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+// Float64 reads an IEEE-754 double.
+func (r *Reader) Float64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.Remaining() < 8 {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(r.buf[r.off:]))
+	r.off += 8
+	return v
+}
+
+// Bool reads a single byte as a boolean.
+func (r *Reader) Bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.Remaining() < 1 {
+		r.fail(ErrTruncated)
+		return false
+	}
+	v := r.buf[r.off]
+	r.off++
+	if v > 1 {
+		r.fail(fmt.Errorf("wire: invalid bool byte %d", v))
+	}
+	return v == 1
+}
+
+// BytesField reads a length-prefixed byte string.
+func (r *Reader) BytesField() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if uint64(r.Remaining()) < n {
+		r.fail(ErrTruncated)
+		return nil
+	}
+	out := r.buf[r.off : r.off+int(n)]
+	r.off += int(n)
+	return out
+}
+
+// BigInt reads a length-prefixed big integer.
+func (r *Reader) BigInt() *big.Int {
+	b := r.BytesField()
+	if r.err != nil {
+		return new(big.Int)
+	}
+	return new(big.Int).SetBytes(b)
+}
+
+// FixedBigInt reads a zero-padded big integer of exactly size bytes.
+func (r *Reader) FixedBigInt(size int) *big.Int {
+	if r.err != nil {
+		return new(big.Int)
+	}
+	if r.Remaining() < size {
+		r.fail(ErrTruncated)
+		return new(big.Int)
+	}
+	v := new(big.Int).SetBytes(r.buf[r.off : r.off+size])
+	r.off += size
+	return v
+}
+
+// IntSlice reads a length-prefixed slice of uvarint ints.
+func (r *Reader) IntSlice() []int {
+	n := r.Int()
+	if r.err != nil {
+		return nil
+	}
+	if n > r.Remaining() { // each element is at least one byte
+		r.fail(ErrTruncated)
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = r.Int()
+	}
+	return out
+}
+
+// WriteFrame writes a type-tagged, length-prefixed frame to w.
+func WriteFrame(w io.Writer, msgType byte, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [5]byte
+	hdr[0] = msgType
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: writing frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("wire: writing frame payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one frame written by WriteFrame.
+func ReadFrame(r io.Reader) (msgType byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("wire: reading frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > MaxFrameSize {
+		return 0, nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("wire: reading frame payload: %w", err)
+	}
+	return hdr[0], payload, nil
+}

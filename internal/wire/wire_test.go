@@ -1,0 +1,215 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var w Writer
+	w.Uvarint(0)
+	w.Uvarint(300)
+	w.Uvarint(math.MaxUint64)
+	w.Uint32(0xdeadbeef)
+	w.Float64(3.14159)
+	w.Bool(true)
+	w.Bool(false)
+	w.BytesField([]byte("hello"))
+	w.BigInt(big.NewInt(123456789))
+	w.FixedBigInt(big.NewInt(7), 16)
+	w.IntSlice([]int{1, 2, 3})
+
+	r := NewReader(w.Bytes())
+	if got := r.Uvarint(); got != 0 {
+		t.Fatalf("uvarint0 = %d", got)
+	}
+	if got := r.Uvarint(); got != 300 {
+		t.Fatalf("uvarint1 = %d", got)
+	}
+	if got := r.Uvarint(); got != math.MaxUint64 {
+		t.Fatalf("uvarint2 = %d", got)
+	}
+	if got := r.Uint32(); got != 0xdeadbeef {
+		t.Fatalf("uint32 = %x", got)
+	}
+	if got := r.Float64(); got != 3.14159 {
+		t.Fatalf("float = %v", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("bools wrong")
+	}
+	if got := r.BytesField(); string(got) != "hello" {
+		t.Fatalf("bytes = %q", got)
+	}
+	if got := r.BigInt(); got.Int64() != 123456789 {
+		t.Fatalf("bigint = %v", got)
+	}
+	if got := r.FixedBigInt(16); got.Int64() != 7 {
+		t.Fatalf("fixed bigint = %v", got)
+	}
+	got := r.IntSlice()
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("intslice = %v", got)
+	}
+	if r.Err() != nil {
+		t.Fatalf("unexpected error: %v", r.Err())
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("%d bytes left over", r.Remaining())
+	}
+}
+
+func TestReaderTruncation(t *testing.T) {
+	var w Writer
+	w.Float64(1.5)
+	full := w.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(full[:cut])
+		r.Float64()
+		if r.Err() == nil {
+			t.Fatalf("no error at cut %d", cut)
+		}
+	}
+}
+
+func TestReaderErrorSticky(t *testing.T) {
+	r := NewReader(nil)
+	r.Uint32() // fails
+	first := r.Err()
+	if first == nil {
+		t.Fatal("expected error")
+	}
+	r.Float64()
+	r.Uvarint()
+	if r.Err() != first {
+		t.Fatal("error not sticky")
+	}
+}
+
+func TestFixedBigIntPanics(t *testing.T) {
+	var w Writer
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized FixedBigInt accepted")
+		}
+	}()
+	w.FixedBigInt(big.NewInt(1<<40), 2)
+}
+
+func TestNegativeBigIntPanics(t *testing.T) {
+	var w Writer
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative BigInt accepted")
+		}
+	}()
+	w.BigInt(big.NewInt(-5))
+}
+
+func TestIntSliceHostileLength(t *testing.T) {
+	// A claimed length far beyond the payload must fail, not allocate.
+	var w Writer
+	w.Uvarint(1 << 30)
+	r := NewReader(w.Bytes())
+	if got := r.IntSlice(); got != nil || r.Err() == nil {
+		t.Fatal("hostile length accepted")
+	}
+}
+
+func TestBoolValidation(t *testing.T) {
+	r := NewReader([]byte{2})
+	r.Bool()
+	if r.Err() == nil {
+		t.Fatal("invalid bool byte accepted")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("the payload")
+	if err := WriteFrame(&buf, 7, payload); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != 7 || string(got) != string(payload) {
+		t.Fatalf("frame = type %d payload %q", typ, got)
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := ReadFrame(&buf)
+	if err != nil || typ != 1 || len(got) != 0 {
+		t.Fatalf("empty frame: %v %d %v", err, typ, got)
+	}
+}
+
+func TestFrameHostileLength(t *testing.T) {
+	// Header claims a frame bigger than the cap.
+	hdr := []byte{1, 0xff, 0xff, 0xff, 0xff}
+	if _, _, err := ReadFrame(bytes.NewReader(hdr)); err == nil {
+		t.Fatal("hostile frame length accepted")
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, 3, []byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-2]
+	if _, _, err := ReadFrame(bytes.NewReader(data)); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+// Property: random value sequences roundtrip.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(u64 uint64, u32 uint32, f64 float64, bs []byte, n uint8) bool {
+		if math.IsNaN(f64) {
+			f64 = 0
+		}
+		ints := make([]int, n%16)
+		for i := range ints {
+			// Reader.Int rejects values above MaxInt32; stay below it.
+			ints[i] = int(u32%(math.MaxInt32-16)) + i
+		}
+		var w Writer
+		w.Uvarint(u64)
+		w.Uint32(u32)
+		w.Float64(f64)
+		w.BytesField(bs)
+		w.IntSlice(ints)
+		r := NewReader(w.Bytes())
+		if r.Uvarint() != u64 || r.Uint32() != u32 || r.Float64() != f64 {
+			return false
+		}
+		if !bytes.Equal(r.BytesField(), bs) {
+			return false
+		}
+		got := r.IntSlice()
+		if len(got) != len(ints) {
+			return false
+		}
+		for i := range got {
+			if got[i] != ints[i] {
+				return false
+			}
+		}
+		return r.Err() == nil && r.Remaining() == 0
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,175 @@
+// Package ppgnn is a privacy-preserving group k-nearest-neighbor (kGNN)
+// search library, implementing Wu, Lin, Zhang, Wang and Chen, "Privacy
+// Preserving Group Nearest Neighbor Search", EDBT 2018.
+//
+// A group of n mobile users retrieves the top-k POIs minimizing a monotone
+// aggregate of their distances from a location-based service provider
+// (LSP), with four privacy guarantees:
+//
+//	I   — each user's location is hidden from the LSP among d locations;
+//	II  — the group query and answer are hidden among δ ≥ d candidates;
+//	III — users learn nothing beyond the requested answer;
+//	IV  — each user's location stays hidden from the other n−1 users, even
+//	      if they all collude (the answer is sanitized against the
+//	      inequality attack).
+//
+// # Quickstart
+//
+//	pois := ppgnn.SyntheticDataset(1, 10000)
+//	server := ppgnn.NewServer(pois, ppgnn.UnitSpace)
+//
+//	params := ppgnn.DefaultParams(3) // a group of three users
+//	group, err := ppgnn.NewGroup(params, []ppgnn.Point{
+//		{X: 0.21, Y: 0.35}, {X: 0.25, Y: 0.31}, {X: 0.23, Y: 0.40},
+//	}, nil)
+//	if err != nil { ... }
+//
+//	res, err := group.Run(ppgnn.Local(server), nil)
+//	for _, p := range res.Points {
+//		fmt.Println("meeting place:", p)
+//	}
+//
+// The protocol variants (PPGNN, PPGNN-OPT, Naive), the full-collusion
+// answer sanitation, and the cost meters reproduce the paper's evaluation;
+// see DESIGN.md and EXPERIMENTS.md.
+package ppgnn
+
+import (
+	"io"
+	"math/rand"
+
+	"ppgnn/internal/core"
+	"ppgnn/internal/cost"
+	"ppgnn/internal/dataset"
+	"ppgnn/internal/encode"
+	"ppgnn/internal/geo"
+	"ppgnn/internal/gnn"
+	"ppgnn/internal/rtree"
+	"ppgnn/internal/transport"
+)
+
+// Point is a planar location.
+type Point = geo.Point
+
+// Rect is an axis-aligned rectangle (the location space).
+type Rect = geo.Rect
+
+// UnitSpace is the normalized unit-square location space used by the
+// paper's experiments.
+var UnitSpace = geo.UnitRect
+
+// POI is a point of interest in the LSP's database.
+type POI = rtree.Item
+
+// Aggregate selects the cost function F: Sum, Max or Min.
+type Aggregate = gnn.Aggregate
+
+// Aggregate functions (Eqn 1).
+const (
+	Sum = gnn.Sum
+	Max = gnn.Max
+	Min = gnn.Min
+)
+
+// SearchResult is one ranked POI of a plaintext group query.
+type SearchResult = gnn.Result
+
+// Params collects the protocol parameters (Table 3).
+type Params = core.Params
+
+// Variant selects the protocol flavour.
+type Variant = core.Variant
+
+// Protocol variants.
+const (
+	PPGNN    = core.VariantPPGNN
+	PPGNNOPT = core.VariantOPT
+	Naive    = core.VariantNaive
+)
+
+// DefaultParams returns the paper's default parameterization for a group
+// of n users: d=25, δ=100 (δ=d for n=1), k=8, θ0=0.05, 1024-bit keys,
+// F=sum.
+func DefaultParams(n int) Params { return core.DefaultParams(n) }
+
+// Server is the LSP: it owns the POI database (R-tree indexed, dynamic)
+// and processes queries.
+type Server = core.LSP
+
+// NewServer builds an LSP over the POI database.
+func NewServer(pois []POI, space Rect) *Server { return core.NewLSP(pois, space) }
+
+// Group is the client side: the n users and their coordinator.
+type Group = core.Group
+
+// NewGroup validates parameters, solves the partition-parameter program
+// (Eqn 7–10), and generates the group's key pair. A nil rng seeds from the
+// current time.
+func NewGroup(p Params, locations []Point, rng *rand.Rand) (*Group, error) {
+	return core.NewGroup(p, locations, rng)
+}
+
+// ThresholdGroup is a Group whose answer decryption requires t of the n
+// users to cooperate (no single user — coordinator included — can decrypt
+// alone). See examples/threshold.
+type ThresholdGroup = core.ThresholdGroup
+
+// NewThresholdGroup builds a group with a (t, n)-threshold Paillier key
+// (Damgård–Jurik threshold decryption). Key generation uses safe primes
+// and is slower than NewGroup.
+func NewThresholdGroup(p Params, locations []Point, rng *rand.Rand, t int) (*ThresholdGroup, error) {
+	return core.NewThresholdGroup(p, locations, rng, t)
+}
+
+// Result is a decoded query answer.
+type Result = core.Result
+
+// Record is one POI record of an answer (32-bit quantized coordinates and,
+// when Params.IncludeIDs is set, the POI identifier).
+type Record = encode.Record
+
+// Service abstracts the LSP endpoint a Group queries.
+type Service = core.Service
+
+// Local wraps an in-process Server as a Service. Costs incurred by the
+// server are attributed to the same meter passed to Group.Run.
+func Local(s *Server) Service { return core.LocalService{LSP: s} }
+
+// LocalMetered is Local with the LSP computation attributed to meter.
+func LocalMetered(s *Server, meter *Meter) Service {
+	return core.LocalService{LSP: s, Meter: meter}
+}
+
+// Meter accumulates the paper's three cost metrics for a protocol run.
+type Meter = cost.Meter
+
+// CostSnapshot is a frozen view of a Meter.
+type CostSnapshot = cost.Snapshot
+
+// ListenAndServe exposes a Server on a TCP address and returns the
+// listening endpoint. Close it to stop serving.
+func ListenAndServe(s *Server, addr string) (*transport.Server, error) {
+	srv := transport.NewServer(s)
+	if _, err := srv.Listen(addr); err != nil {
+		return nil, err
+	}
+	return srv, nil
+}
+
+// Dial connects to a remote Server; the returned client implements
+// Service.
+func Dial(addr string) (*transport.Client, error) { return transport.Dial(addr) }
+
+// SequoiaDataset returns the deterministic Sequoia-substitute database
+// (62,556 clustered POIs in the unit square; see DESIGN.md §5).
+func SequoiaDataset() []POI { return dataset.Sequoia(dataset.DefaultSeed) }
+
+// SyntheticDataset generates n clustered POIs with the given seed.
+func SyntheticDataset(seed int64, n int) []POI { return dataset.Synthetic(seed, n) }
+
+// LoadDataset reads a whitespace-separated point file and normalizes it
+// into the unit square (accepts the real Sequoia file).
+func LoadDataset(r io.Reader) ([]POI, error) { return dataset.Load(r) }
+
+// LoadDatasetFile is LoadDataset over a path.
+func LoadDatasetFile(path string) ([]POI, error) { return dataset.LoadFile(path) }
