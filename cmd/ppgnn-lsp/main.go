@@ -10,6 +10,11 @@
 //	-workers N   parallel candidate-query workers (default 1)
 //	-seed N      sanitation RNG seed
 //	-quiet       suppress per-connection logs
+//	-max-conns N      connection limit; excess clients are shed with a
+//	                  retryable busy reply (default 0 = unlimited)
+//	-max-locations N  location frames accepted per session (default 4096)
+//	-read-timeout D   per-frame read deadline within a session (default 30s)
+//	-drain-timeout D  grace for in-flight sessions on shutdown (default 10s)
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"ppgnn"
 	"ppgnn/internal/transport"
@@ -30,6 +36,10 @@ func main() {
 	workers := flag.Int("workers", 1, "parallel candidate-query workers")
 	seed := flag.Int64("seed", 1, "sanitation RNG seed")
 	quiet := flag.Bool("quiet", false, "suppress per-connection logs")
+	maxConns := flag.Int("max-conns", 0, "connection limit, 0 = unlimited")
+	maxLocations := flag.Int("max-locations", transport.DefaultMaxLocations, "location frames accepted per session")
+	readTimeout := flag.Duration("read-timeout", 30*time.Second, "per-frame read deadline within a session")
+	drainTimeout := flag.Duration("drain-timeout", transport.DefaultDrainTimeout, "grace for in-flight sessions on shutdown")
 	flag.Parse()
 
 	var pois []ppgnn.POI
@@ -47,6 +57,10 @@ func main() {
 	server.SanitizeSeed = *seed
 
 	srv := transport.NewServer(server)
+	srv.MaxConns = *maxConns
+	srv.MaxLocations = *maxLocations
+	srv.ReadTimeout = *readTimeout
+	srv.DrainTimeout = *drainTimeout
 	if !*quiet {
 		srv.Logf = log.Printf
 	}
@@ -54,12 +68,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	log.Printf("ppgnn-lsp: serving %d POIs on %s (workers=%d)", len(pois), bound, *workers)
+	log.Printf("ppgnn-lsp: serving %d POIs on %s (workers=%d max-conns=%d)", len(pois), bound, *workers, *maxConns)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Printf("ppgnn-lsp: shutting down")
+	log.Printf("ppgnn-lsp: draining (up to %v)", *drainTimeout)
 	if err := srv.Close(); err != nil {
 		fatal(err)
 	}

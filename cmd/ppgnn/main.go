@@ -16,6 +16,9 @@
 //	-variant ppgnn|opt|naive
 //	-keybits N   Paillier modulus size (default 1024)
 //	-connect A   query a remote LSP at address A instead of in-process
+//	-pool N      connection-pool size for -connect (default 4)
+//	-retries N   resend attempts after a transient failure (default 3)
+//	-query-timeout D  per-query deadline, retries included (default none)
 //	-dataset F   point file for the in-process LSP
 //	-no-sanitize disable answer sanitation (PPGNN-NAS)
 //	-threshold T require T-of-n users to cooperate for decryption
@@ -44,6 +47,9 @@ func main() {
 	variant := flag.String("variant", "opt", "protocol variant: ppgnn|opt|naive")
 	keybits := flag.Int("keybits", 1024, "Paillier modulus size")
 	connect := flag.String("connect", "", "remote LSP address (default: in-process)")
+	poolSize := flag.Int("pool", 4, "connection-pool size for -connect")
+	retries := flag.Int("retries", 3, "resend attempts after a transient failure (-1 = none)")
+	queryTimeout := flag.Duration("query-timeout", 0, "per-query deadline, retries included (0 = none)")
 	datasetPath := flag.String("dataset", "", "point file for the in-process LSP")
 	noSanitize := flag.Bool("no-sanitize", false, "disable answer sanitation (PPGNN-NAS)")
 	ids := flag.Bool("ids", false, "include POI IDs in the answer")
@@ -118,13 +124,13 @@ func main() {
 	var svc ppgnn.Service
 	var meter ppgnn.Meter
 	if *connect != "" {
-		cli, err := ppgnn.Dial(*connect)
-		if err != nil {
-			fatal(err)
-		}
-		defer cli.Close()
-		cli.Meter = &meter
-		svc = cli
+		pool := ppgnn.NewPool(*connect)
+		pool.Size = *poolSize
+		pool.MaxRetries = *retries
+		pool.QueryTimeout = *queryTimeout
+		pool.Meter = &meter
+		defer pool.Close()
+		svc = pool
 	} else {
 		pois, err := loadPOIs(*datasetPath)
 		if err != nil {

@@ -1,0 +1,76 @@
+package core
+
+import "errors"
+
+// Transport error classification. A PPGNN query session is idempotent on
+// the LSP side — the server holds no per-session state once a session
+// aborts, and answering the same (query, locations) pair twice leaks
+// nothing the first answer did not (the LSP already sees the full
+// d-anonymous view; see DESIGN.md "Transport reliability"). Resending a
+// session from scratch is therefore always safe, and the only question a
+// client must answer after a failure is whether a retry can possibly
+// succeed:
+//
+//   - retryable: the network ate the session (dial failure, connection
+//     reset, timeout before the answer arrived) or the server shed load.
+//     A fresh connection and a resend may well succeed.
+//   - protocol-fatal: the server examined the query and rejected it
+//     (malformed frame, bad parameters, incompatible version). The same
+//     bytes will be rejected again; retrying only burns ciphertexts.
+
+// RemoteError is a server-side rejection carried in a FrameError frame.
+// It is protocol-fatal except for the well-known load-shedding and drain
+// messages, which signal a transient server condition rather than a
+// defect in the query.
+type RemoteError struct {
+	Msg string
+}
+
+func (e *RemoteError) Error() string { return "core: server rejected query: " + e.Msg }
+
+// FrameError payloads with transport-level meaning. Servers send these
+// verbatim; clients match them to classify the rejection as transient.
+const (
+	// BusyMessage sheds load when the server is at its connection limit.
+	BusyMessage = "server at capacity"
+	// DrainingMessage rejects new sessions while the server drains.
+	DrainingMessage = "server draining"
+)
+
+// transient reports whether the rejection is a server condition a retry
+// (possibly against another replica) can outlast.
+func (e *RemoteError) transient() bool {
+	return e.Msg == BusyMessage || e.Msg == DrainingMessage
+}
+
+// retryableError marks a network-level failure that occurred before any
+// answer byte arrived, so a resend-from-scratch is safe.
+type retryableError struct {
+	err error
+}
+
+func (e *retryableError) Error() string { return e.err.Error() }
+func (e *retryableError) Unwrap() error { return e.err }
+
+// Retryable marks err as safe to retry with a fresh connection. It
+// returns nil for a nil err.
+func Retryable(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &retryableError{err: err}
+}
+
+// IsRetryable reports whether err (anywhere in its chain) is a transient
+// failure a fault-tolerant client should resend the session for.
+func IsRetryable(err error) bool {
+	var r *retryableError
+	if errors.As(err, &r) {
+		return true
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return re.transient()
+	}
+	return false
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+)
+
+func TestRetryableClassification(t *testing.T) {
+	base := errors.New("connection reset by peer")
+	r := Retryable(base)
+	if !IsRetryable(r) {
+		t.Fatal("Retryable-marked error not classified retryable")
+	}
+	if !errors.Is(r, base) {
+		t.Fatal("Retryable does not unwrap to the cause")
+	}
+	// The mark survives further wrapping.
+	wrapped := fmt.Errorf("attempt 2: %w", r)
+	if !IsRetryable(wrapped) {
+		t.Fatal("wrapping lost the retryable mark")
+	}
+	if Retryable(nil) != nil {
+		t.Fatal("Retryable(nil) != nil")
+	}
+}
+
+func TestUnmarkedErrorsAreFatal(t *testing.T) {
+	for _, err := range []error{
+		io.EOF,
+		errors.New("plain"),
+		fmt.Errorf("wrapped: %w", io.ErrUnexpectedEOF),
+	} {
+		if IsRetryable(err) {
+			t.Errorf("%v classified retryable without a mark", err)
+		}
+	}
+	if IsRetryable(nil) {
+		t.Fatal("nil classified retryable")
+	}
+}
+
+func TestRemoteErrorClassification(t *testing.T) {
+	fatal := &RemoteError{Msg: "protocol version 9, this build speaks 1"}
+	if IsRetryable(fatal) {
+		t.Fatal("query rejection classified retryable")
+	}
+	for _, msg := range []string{BusyMessage, DrainingMessage} {
+		err := fmt.Errorf("session: %w", &RemoteError{Msg: msg})
+		if !IsRetryable(err) {
+			t.Errorf("%q rejection not classified retryable", msg)
+		}
+	}
+	var re *RemoteError
+	if !errors.As(fatal, &re) || re.Msg == "" {
+		t.Fatal("RemoteError lost its message")
+	}
+}

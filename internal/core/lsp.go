@@ -133,6 +133,19 @@ func (l *LSP) Process(q *QueryMsg, locs []*LocationMsg, meter *cost.Meter) (ans 
 		go func(t int) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			// A panic here would escape any recover installed by the
+			// caller (transport sessions recover per session); convert it
+			// into a query rejection so one hostile query cannot kill a
+			// serving process.
+			defer func() {
+				if r := recover(); r != nil {
+					errMu.Lock()
+					if procErr == nil {
+						procErr = fmt.Errorf("core: candidate query %d panicked: %v", t, r)
+					}
+					errMu.Unlock()
+				}
+			}()
 			res := l.Search(candidates[t], q.K, q.Agg)
 			if q.Sanitize && n > 1 {
 				rng := rand.New(rand.NewSource(l.SanitizeSeed + int64(t)))

@@ -1,0 +1,231 @@
+// Package faultnet provides deterministic, seedable fault injection for
+// net.Conn and net.Listener. It simulates the flaky base-station links of
+// the system model (Section 2) — added latency, fragmented writes,
+// connections reset after a byte budget, and transient accept failures —
+// so the transport's retry, shedding, and drain paths can be exercised
+// reproducibly in ordinary unit tests: the same Faults schedule and seed
+// always produce the same byte-level behavior.
+//
+// The wrappers are transparent when their Faults are zero, so a test can
+// thread them through unconditionally and turn individual faults on per
+// case.
+package faultnet
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrReset is the injected failure returned once a connection exhausts
+// its byte budget (and by every operation after it). The underlying
+// connection is closed at that point, so the peer observes a genuine
+// mid-stream EOF/reset, not just a local error.
+var ErrReset = errors.New("faultnet: injected connection reset")
+
+// ErrDialFailed is the injected failure for scheduled dial refusals.
+var ErrDialFailed = errors.New("faultnet: injected dial failure")
+
+// errAcceptAborted is returned for injected accept failures. It reports
+// itself as transient so accept loops treat it like a kernel-level
+// transient (ECONNABORTED) rather than a dead listener.
+type transientAcceptError struct{}
+
+func (transientAcceptError) Error() string   { return "faultnet: injected accept failure" }
+func (transientAcceptError) Timeout() bool   { return false }
+func (transientAcceptError) Temporary() bool { return true }
+
+// Faults is one connection's fault schedule. The zero value injects
+// nothing.
+type Faults struct {
+	// Seed drives the fragment sizes of partial writes; two conns with
+	// equal schedules and seeds fragment identically.
+	Seed int64
+	// Latency is added before every Read and Write.
+	Latency time.Duration
+	// MaxChunk > 0 fragments each Write into random chunks of 1..MaxChunk
+	// bytes, exercising readers against arbitrary TCP segmentation.
+	MaxChunk int
+	// WriteResetAfter > 0 resets the connection after that many bytes have
+	// been written; the cut can land mid-frame.
+	WriteResetAfter int64
+	// ReadResetAfter > 0 resets the connection after that many bytes have
+	// been read.
+	ReadResetAfter int64
+	// FailDial makes Dialer refuse this scheduled connection outright
+	// with ErrDialFailed (the other fields are then ignored).
+	FailDial bool
+}
+
+// zero reports whether the schedule injects nothing.
+func (f Faults) zero() bool {
+	return f.Latency == 0 && f.MaxChunk == 0 && f.WriteResetAfter == 0 &&
+		f.ReadResetAfter == 0 && !f.FailDial
+}
+
+// Conn wraps a net.Conn with a fault schedule. Deadlines, addresses, and
+// Close pass through to the underlying connection.
+type Conn struct {
+	net.Conn
+
+	mu     sync.Mutex
+	f      Faults
+	rng    *rand.Rand
+	nr, nw int64
+	reset  bool
+}
+
+// Wrap applies a fault schedule to a connection.
+func Wrap(c net.Conn, f Faults) *Conn {
+	return &Conn{Conn: c, f: f, rng: rand.New(rand.NewSource(f.Seed))}
+}
+
+// trip closes the underlying conn and latches the reset state.
+func (c *Conn) trip() {
+	c.reset = true
+	c.Conn.Close()
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	if c.f.Latency > 0 {
+		time.Sleep(c.f.Latency)
+	}
+	c.mu.Lock()
+	if c.reset {
+		c.mu.Unlock()
+		return 0, ErrReset
+	}
+	if c.f.ReadResetAfter > 0 {
+		remaining := c.f.ReadResetAfter - c.nr
+		if remaining <= 0 {
+			c.trip()
+			c.mu.Unlock()
+			return 0, ErrReset
+		}
+		if int64(len(p)) > remaining {
+			p = p[:remaining]
+		}
+	}
+	c.mu.Unlock()
+	n, err := c.Conn.Read(p)
+	c.mu.Lock()
+	c.nr += int64(n)
+	tripped := c.f.ReadResetAfter > 0 && c.nr >= c.f.ReadResetAfter
+	if tripped {
+		c.trip()
+	}
+	c.mu.Unlock()
+	if err == nil && tripped {
+		// The budget boundary itself still delivers its bytes; the *next*
+		// operation fails. Matching kernel behavior where the RST races
+		// the final segment would make tests nondeterministic.
+		return n, nil
+	}
+	return n, err
+}
+
+// Write implements net.Conn.
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.f.Latency > 0 {
+		time.Sleep(c.f.Latency)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.reset {
+		return 0, ErrReset
+	}
+	written := 0
+	for written < len(p) {
+		chunk := p[written:]
+		if c.f.MaxChunk > 0 && len(chunk) > c.f.MaxChunk {
+			chunk = chunk[:1+c.rng.Intn(c.f.MaxChunk)]
+		}
+		if c.f.WriteResetAfter > 0 {
+			remaining := c.f.WriteResetAfter - c.nw
+			if remaining <= 0 {
+				c.trip()
+				return written, ErrReset
+			}
+			if int64(len(chunk)) > remaining {
+				chunk = chunk[:remaining]
+			}
+		}
+		n, err := c.Conn.Write(chunk)
+		written += n
+		c.nw += int64(n)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// Listener wraps a net.Listener: the first AcceptFailures accepts fail
+// with a transient error, and the i-th successfully accepted connection
+// is wrapped with Schedule[i] (connections past the schedule are clean).
+type Listener struct {
+	net.Listener
+
+	mu       sync.Mutex
+	failures int
+	schedule []Faults
+	accepted int
+}
+
+// WrapListener applies accept failures and a per-connection fault
+// schedule to a listener.
+func WrapListener(ln net.Listener, acceptFailures int, schedule ...Faults) *Listener {
+	return &Listener{Listener: ln, failures: acceptFailures, schedule: schedule}
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	if l.failures > 0 {
+		l.failures--
+		l.mu.Unlock()
+		return nil, transientAcceptError{}
+	}
+	l.mu.Unlock()
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	i := l.accepted
+	l.accepted++
+	l.mu.Unlock()
+	if i < len(l.schedule) && !l.schedule[i].zero() {
+		return Wrap(conn, l.schedule[i]), nil
+	}
+	return conn, nil
+}
+
+// Dialer returns a dial function whose i-th connection carries
+// Schedule[i]; connections past the schedule are clean. It is the
+// client-side counterpart of WrapListener, made to plug into
+// transport.Pool's DialFunc.
+func Dialer(schedule ...Faults) func(addr string) (net.Conn, error) {
+	var mu sync.Mutex
+	dialed := 0
+	return func(addr string) (net.Conn, error) {
+		mu.Lock()
+		i := dialed
+		dialed++
+		mu.Unlock()
+		if i < len(schedule) && schedule[i].FailDial {
+			return nil, ErrDialFailed
+		}
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		if i < len(schedule) && !schedule[i].zero() {
+			return Wrap(conn, schedule[i]), nil
+		}
+		return conn, nil
+	}
+}

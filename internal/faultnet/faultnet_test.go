@@ -1,0 +1,218 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// readAll drains a conn into a buffer from a goroutine; the returned
+// function waits for EOF and yields the bytes.
+func readAll(t *testing.T, c net.Conn) func() []byte {
+	t.Helper()
+	done := make(chan []byte, 1)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, c)
+		done <- buf.Bytes()
+	}()
+	return func() []byte { return <-done }
+}
+
+func TestZeroFaultsTransparent(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	w := Wrap(a, Faults{})
+	got := readAll(t, b)
+	msg := []byte("through the clean wrapper")
+	if n, err := w.Write(msg); err != nil || n != len(msg) {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	w.Close()
+	if !bytes.Equal(got(), msg) {
+		t.Fatal("bytes corrupted by transparent wrapper")
+	}
+}
+
+func TestPartialWritesDeliverEverything(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	w := Wrap(a, Faults{Seed: 7, MaxChunk: 3})
+	got := readAll(t, b)
+	msg := bytes.Repeat([]byte("0123456789"), 20)
+	if n, err := w.Write(msg); err != nil || n != len(msg) {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	w.Close()
+	if !bytes.Equal(got(), msg) {
+		t.Fatal("fragmented write corrupted the stream")
+	}
+}
+
+func TestWriteResetAfterBudget(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	const budget = 64
+	w := Wrap(a, Faults{WriteResetAfter: budget})
+	got := readAll(t, b)
+	msg := make([]byte, 100)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	n, err := w.Write(msg)
+	if !errors.Is(err, ErrReset) {
+		t.Fatalf("Write err = %v, want ErrReset", err)
+	}
+	if n != budget {
+		t.Fatalf("wrote %d bytes before reset, want %d", n, budget)
+	}
+	if !bytes.Equal(got(), msg[:budget]) {
+		t.Fatal("peer did not observe exactly the pre-reset bytes")
+	}
+	// The conn stays dead.
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrReset) {
+		t.Fatalf("post-reset Write err = %v, want ErrReset", err)
+	}
+	if _, err := w.Read(make([]byte, 1)); !errors.Is(err, ErrReset) {
+		t.Fatalf("post-reset Read err = %v, want ErrReset", err)
+	}
+}
+
+func TestReadResetAfterBudget(t *testing.T) {
+	a, b := net.Pipe()
+	const budget = 10
+	r := Wrap(a, Faults{ReadResetAfter: budget})
+	go func() {
+		b.Write(make([]byte, 50))
+		b.Close()
+	}()
+	buf := make([]byte, 50)
+	n, err := io.ReadFull(r, buf[:budget])
+	if n != budget || err != nil {
+		t.Fatalf("pre-budget read = %d, %v", n, err)
+	}
+	if _, err := r.Read(buf); !errors.Is(err, ErrReset) {
+		t.Fatalf("post-budget Read err = %v, want ErrReset", err)
+	}
+}
+
+func TestLatency(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	const lat = 20 * time.Millisecond
+	w := Wrap(a, Faults{Latency: lat})
+	got := readAll(t, b)
+	start := time.Now()
+	if _, err := w.Write([]byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < lat {
+		t.Fatalf("write returned after %v, want ≥ %v", elapsed, lat)
+	}
+	w.Close()
+	got()
+}
+
+func TestDeterministicFragmentation(t *testing.T) {
+	run := func() []int {
+		a, b := net.Pipe()
+		defer a.Close()
+		defer b.Close()
+		w := Wrap(a, Faults{Seed: 42, MaxChunk: 5})
+		sizes := make(chan []int, 1)
+		go func() {
+			var got []int
+			buf := make([]byte, 64)
+			for {
+				n, err := b.Read(buf)
+				if n > 0 {
+					got = append(got, n)
+				}
+				if err != nil {
+					sizes <- got
+					return
+				}
+			}
+		}()
+		w.Write(make([]byte, 40))
+		w.Close()
+		return <-sizes
+	}
+	s1, s2 := run(), run()
+	if len(s1) < 2 {
+		t.Fatalf("expected fragmentation, got reads %v", s1)
+	}
+	if len(s1) != len(s2) {
+		t.Fatalf("same seed produced different fragmentations: %v vs %v", s1, s2)
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("same seed produced different fragmentations: %v vs %v", s1, s2)
+		}
+	}
+}
+
+func TestListenerAcceptFailures(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := WrapListener(inner, 2)
+	defer ln.Close()
+	for i := 0; i < 2; i++ {
+		_, err := ln.Accept()
+		var ne net.Error
+		if !errors.As(err, &ne) || !ne.Temporary() {
+			t.Fatalf("accept %d: err = %v, want transient net.Error", i, err)
+		}
+	}
+	// The third accept succeeds once a client shows up.
+	go net.Dial("tcp", inner.Addr().String())
+	conn, err := ln.Accept()
+	if err != nil {
+		t.Fatalf("accept after failures: %v", err)
+	}
+	conn.Close()
+}
+
+func TestDialerSchedule(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inner.Close()
+	go func() {
+		for {
+			c, err := inner.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(io.Discard, c)
+		}
+	}()
+	dial := Dialer(
+		Faults{FailDial: true},
+		Faults{WriteResetAfter: 4},
+	)
+	if _, err := dial(inner.Addr().String()); !errors.Is(err, ErrDialFailed) {
+		t.Fatalf("dial 0: err = %v, want ErrDialFailed", err)
+	}
+	c1, err := dial(inner.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Write(make([]byte, 10)); !errors.Is(err, ErrReset) {
+		t.Fatalf("dial 1 write: err = %v, want ErrReset", err)
+	}
+	c2, err := dial(inner.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.Write(make([]byte, 10)); err != nil {
+		t.Fatalf("dial 2 (past schedule) should be clean: %v", err)
+	}
+}

@@ -1,0 +1,245 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"ppgnn/internal/core"
+	"ppgnn/internal/cost"
+)
+
+// Pool defaults; fields left zero on a Pool pick these up at first use.
+const (
+	DefaultPoolSize   = 4
+	DefaultMaxRetries = 3
+	DefaultRetryBase  = 50 * time.Millisecond
+	DefaultRetryMax   = 2 * time.Second
+)
+
+// Pool is a fault-tolerant core.Service over a bounded pool of
+// connections to one Server. It is safe for concurrent use: at most Size
+// query sessions run at once (each on its own connection), healthy
+// connections are reused across queries, and failed sessions are
+// transparently resent.
+//
+// Retry semantics: a session is resent, on a fresh connection and after
+// exponential backoff with jitter, only for errors core.IsRetryable
+// classifies as transient — network failures before the first answer
+// byte, and the server's busy/draining rejections. A PPGNN session is
+// idempotent on the LSP side (the server keeps no cross-session state and
+// a repeated session shows the LSP the same d-anonymous view it already
+// saw), so resending from scratch is safe; see DESIGN.md "Transport
+// reliability". Server rejections of the query itself are returned
+// immediately — the same ciphertexts would only be rejected again.
+type Pool struct {
+	// Addr is the server address, as for Dial.
+	Addr string
+	// Size bounds concurrent sessions and pooled idle connections
+	// (default DefaultPoolSize).
+	Size int
+	// MaxRetries is the number of resends after the first attempt
+	// (default DefaultMaxRetries; negative = no retries).
+	MaxRetries int
+	// RetryBase is the first backoff delay; it doubles per retry up to
+	// RetryMax, each delay jittered in [½d, d).
+	RetryBase time.Duration
+	// RetryMax caps the backoff delay.
+	RetryMax time.Duration
+	// QueryTimeout bounds one Process call end to end, retries and
+	// backoff included (0 = unbounded).
+	QueryTimeout time.Duration
+	// Meter, when set, counts the bytes of every attempt — retried
+	// sessions cost real cellular traffic, so resends are not netted out.
+	Meter *cost.Meter
+	// DialFunc replaces net.Dial (tests inject faultnet dialers).
+	DialFunc func(addr string) (net.Conn, error)
+	// Seed makes the backoff jitter deterministic (0 = seed 1).
+	Seed int64
+
+	initOnce sync.Once
+	sem      chan struct{} // bounds connections checked out + idle
+	mu       sync.Mutex
+	idle     []net.Conn
+	rng      *rand.Rand
+	closed   bool
+}
+
+// NewPool returns a Pool serving queries to addr with default sizing;
+// adjust the exported fields before the first Process call.
+func NewPool(addr string) *Pool { return &Pool{Addr: addr} }
+
+func (p *Pool) init() {
+	p.initOnce.Do(func() {
+		if p.Size <= 0 {
+			p.Size = DefaultPoolSize
+		}
+		if p.MaxRetries == 0 {
+			p.MaxRetries = DefaultMaxRetries
+		}
+		if p.RetryBase <= 0 {
+			p.RetryBase = DefaultRetryBase
+		}
+		if p.RetryMax <= 0 {
+			p.RetryMax = DefaultRetryMax
+		}
+		seed := p.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		p.rng = rand.New(rand.NewSource(seed))
+		p.sem = make(chan struct{}, p.Size)
+	})
+}
+
+// Process implements core.Service with automatic reconnect and retry.
+func (p *Pool) Process(q *core.QueryMsg, locs []*core.LocationMsg) (*core.AnswerMsg, error) {
+	p.init()
+	ctx := context.Background()
+	if p.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.QueryTimeout)
+		defer cancel()
+	}
+	retries := p.MaxRetries
+	if retries < 0 {
+		retries = 0
+	}
+	var lastErr error
+	attempts := 0
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			if err := p.backoff(ctx, attempt); err != nil {
+				break // deadline exhausted mid-backoff
+			}
+		}
+		attempts++
+		// After a failure the pooled connections are suspect too (one
+		// broken path often means a broken network): retries always dial
+		// fresh, the first attempt may reuse an idle connection.
+		conn, err := p.acquire(ctx, attempt > 0)
+		if err != nil {
+			if !core.IsRetryable(err) {
+				return nil, err
+			}
+			lastErr = err
+			continue
+		}
+		ans, err := runSession(ctx, conn, q, locs, p.Meter)
+		if err == nil {
+			p.release(conn)
+			return ans, nil
+		}
+		// The session died partway through: the connection's framing is
+		// unknown, never reuse it.
+		conn.Close()
+		p.put(nil)
+		if !core.IsRetryable(err) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("transport: session failed after %d attempt(s): %w", attempts, lastErr)
+}
+
+// backoff sleeps for the attempt's jittered exponential delay, or fails
+// when the context expires first.
+func (p *Pool) backoff(ctx context.Context, attempt int) error {
+	d := p.RetryBase << (attempt - 1)
+	if d > p.RetryMax || d <= 0 {
+		d = p.RetryMax
+	}
+	p.mu.Lock()
+	// Full jitter in [½d, d): desynchronizes clients that failed together
+	// (a cell handover drops a whole neighborhood at once) while keeping
+	// the sequence deterministic under Seed.
+	d = d/2 + time.Duration(p.rng.Int63n(int64(d/2)+1))
+	p.mu.Unlock()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return core.Retryable(ctx.Err())
+	case <-t.C:
+		return nil
+	}
+}
+
+// acquire checks a connection out of the pool, dialing if no idle
+// connection is available (or if fresh demands a new one).
+func (p *Pool) acquire(ctx context.Context, fresh bool) (net.Conn, error) {
+	select {
+	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, core.Retryable(ctx.Err())
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		<-p.sem
+		return nil, fmt.Errorf("transport: pool is closed")
+	}
+	var conn net.Conn
+	if n := len(p.idle); n > 0 {
+		conn = p.idle[n-1]
+		p.idle = p.idle[:n-1]
+	}
+	p.mu.Unlock()
+	if conn != nil {
+		if !fresh {
+			return conn, nil
+		}
+		conn.Close()
+	}
+	dial := p.DialFunc
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	conn, err := dial(p.Addr)
+	if err != nil {
+		<-p.sem
+		return nil, core.Retryable(fmt.Errorf("transport: dial %s: %w", p.Addr, err))
+	}
+	return conn, nil
+}
+
+// release returns a healthy connection to the idle pool.
+func (p *Pool) release(conn net.Conn) { p.put(conn) }
+
+// put releases the checked-out slot; a non-nil conn goes back to the idle
+// pool unless the pool has closed meanwhile.
+func (p *Pool) put(conn net.Conn) {
+	p.mu.Lock()
+	if conn != nil {
+		if p.closed {
+			conn.Close()
+		} else {
+			p.idle = append(p.idle, conn)
+		}
+	}
+	p.mu.Unlock()
+	<-p.sem
+}
+
+// Close closes all idle connections and fails subsequent Process calls.
+// Sessions already in flight finish on their own connections, which close
+// on return.
+func (p *Pool) Close() error {
+	p.init()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	for _, c := range p.idle {
+		c.Close()
+	}
+	p.idle = nil
+	return nil
+}
+
+var _ core.Service = (*Pool)(nil)

@@ -1,9 +1,12 @@
 // Package transport runs the PPGNN protocol across a real TCP connection —
 // the base-station channel of the system model (Section 2). Server wraps an
-// LSP; Client implements core.Service for remote groups.
+// LSP; Client and Pool implement core.Service for remote groups, Pool
+// adding the fault tolerance flaky cellular links demand (reconnect, retry
+// with backoff, per-query deadlines).
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -16,11 +19,28 @@ import (
 	"ppgnn/internal/wire"
 )
 
+// DefaultMaxLocations bounds the location frames of one session when the
+// query does not pre-announce n (naive/unknown-n sessions, which are
+// terminated by a sentinel): without a cap a hostile client could stream
+// frames forever and pin a session goroutine. The paper's groups are tens
+// of users; 4096 leaves three orders of magnitude of headroom.
+const DefaultMaxLocations = 4096
+
+// DefaultDrainTimeout bounds how long Close waits for in-flight query
+// sessions before force-closing their connections.
+const DefaultDrainTimeout = 10 * time.Second
+
 // Server exposes an LSP over TCP using the frame protocol: per query
 // session the client sends one FrameQuery and n FrameLocation frames, then
 // the server replies with one FrameAnswer (or FrameError carrying a UTF-8
 // message). Connections are persistent; a client may run many query
 // sessions over one connection.
+//
+// Close drains gracefully: the listener stops, idle connections close
+// immediately, and in-flight sessions get up to DrainTimeout to finish
+// before their connections are force-closed. A panic while serving one
+// session is recovered, logged, and ends only that connection, so one
+// malformed query cannot kill the process.
 type Server struct {
 	LSP   *core.LSP
 	Meter *cost.Meter // optional: accumulates server-side costs
@@ -28,16 +48,31 @@ type Server struct {
 	Logf func(format string, args ...interface{})
 	// ReadTimeout bounds the wait for each frame (default 30s).
 	ReadTimeout time.Duration
+	// MaxConns bounds concurrent connections; excess accepts are shed
+	// with a FrameError carrying core.BusyMessage (0 = unlimited).
+	MaxConns int
+	// MaxLocations bounds the location frames of one session (default
+	// DefaultMaxLocations).
+	MaxLocations int
+	// DrainTimeout bounds Close's wait for in-flight sessions (default
+	// DefaultDrainTimeout).
+	DrainTimeout time.Duration
 
-	mu       sync.Mutex
-	listener net.Listener
-	conns    map[net.Conn]struct{}
-	closed   bool
+	mu        sync.Mutex
+	listener  net.Listener
+	conns     map[net.Conn]struct{}
+	inSession map[net.Conn]struct{}
+	sessions  sync.WaitGroup
+	closed    bool
 }
 
 // NewServer wraps an LSP.
 func NewServer(lsp *core.LSP) *Server {
-	return &Server{LSP: lsp, conns: make(map[net.Conn]struct{})}
+	return &Server{
+		LSP:       lsp,
+		conns:     make(map[net.Conn]struct{}),
+		inSession: make(map[net.Conn]struct{}),
+	}
 }
 
 // Listen starts accepting on addr (e.g. ":9042") and returns the bound
@@ -47,11 +82,17 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wire: listen: %w", err)
 	}
+	return s.Serve(ln), nil
+}
+
+// Serve starts accepting on an existing listener (tests wrap one in
+// faultnet) and returns its address.
+func (s *Server) Serve(ln net.Listener) net.Addr {
 	s.mu.Lock()
 	s.listener = ln
 	s.mu.Unlock()
 	go s.acceptLoop(ln)
-	return ln.Addr(), nil
+	return ln.Addr()
 }
 
 func (s *Server) acceptLoop(ln net.Listener) {
@@ -61,10 +102,14 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			s.mu.Lock()
 			closed := s.closed
 			s.mu.Unlock()
-			if !closed {
-				s.logf("accept: %v", err)
+			if closed || errors.Is(err, net.ErrClosed) {
+				return
 			}
-			return
+			// Transient accept failures (ECONNABORTED, fd pressure,
+			// injected faults) must not kill the accept loop.
+			s.logf("accept: %v (retrying)", err)
+			time.Sleep(10 * time.Millisecond)
+			continue
 		}
 		s.mu.Lock()
 		if s.closed {
@@ -72,10 +117,26 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			conn.Close()
 			return
 		}
+		if s.MaxConns > 0 && len(s.conns) >= s.MaxConns {
+			s.mu.Unlock()
+			go s.shed(conn)
+			continue
+		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
 		go s.serveConn(conn)
 	}
+}
+
+// shed rejects a connection over the MaxConns limit with a retryable
+// FrameError instead of a silent close, so fault-tolerant clients back
+// off and retry rather than misreading the condition as a network fault
+// of unknown safety.
+func (s *Server) shed(conn net.Conn) {
+	defer conn.Close()
+	conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	wire.WriteFrame(conn, core.FrameError, []byte(core.BusyMessage))
+	s.logf("shed %v: at MaxConns=%d", conn.RemoteAddr(), s.MaxConns)
 }
 
 // Addr returns the listening address; it errors before Listen.
@@ -88,11 +149,13 @@ func (s *Server) Addr() (net.Addr, error) {
 	return s.listener.Addr(), nil
 }
 
-// Close stops the listener and closes all connections.
+// Close stops the listener and drains: idle connections close
+// immediately, in-flight sessions get up to DrainTimeout to finish, then
+// any survivors are force-closed. It is idempotent.
 func (s *Server) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
@@ -101,9 +164,52 @@ func (s *Server) Close() error {
 		err = s.listener.Close()
 	}
 	for c := range s.conns {
+		if _, busy := s.inSession[c]; !busy {
+			c.Close()
+		}
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.sessions.Wait()
+		close(done)
+	}()
+	timeout := s.DrainTimeout
+	if timeout == 0 {
+		timeout = DefaultDrainTimeout
+	}
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		s.logf("drain: timeout after %v, force-closing", timeout)
+	}
+	s.mu.Lock()
+	for c := range s.conns {
 		c.Close()
 	}
+	s.mu.Unlock()
 	return err
+}
+
+// beginSession registers an in-flight session for the drain accounting;
+// it fails when the server is draining.
+func (s *Server) beginSession(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.inSession[conn] = struct{}{}
+	s.sessions.Add(1)
+	return true
+}
+
+func (s *Server) endSession(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.inSession, conn)
+	s.mu.Unlock()
+	s.sessions.Done()
 }
 
 func (s *Server) logf(format string, args ...interface{}) {
@@ -126,12 +232,31 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
+		s.mu.Lock()
+		draining := s.closed
+		s.mu.Unlock()
+		if draining {
+			return
+		}
 	}
 }
 
 // serveQuery handles one query session: FrameQuery, n FrameLocations,
-// reply.
-func (s *Server) serveQuery(conn net.Conn) error {
+// reply. A panic anywhere in the session (a malformed query tripping an
+// unguarded code path in the LSP) is converted into an error that ends
+// this connection only.
+func (s *Server) serveQuery(conn net.Conn) (err error) {
+	inSession := false
+	defer func() {
+		if r := recover(); r != nil {
+			conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+			wire.WriteFrame(conn, core.FrameError, []byte("internal error"))
+			err = fmt.Errorf("transport: session panic: %v", r)
+		}
+		if inSession {
+			s.endSession(conn)
+		}
+	}()
 	timeout := s.ReadTimeout
 	if timeout == 0 {
 		timeout = 30 * time.Second
@@ -145,6 +270,12 @@ func (s *Server) serveQuery(conn net.Conn) error {
 	if err != nil {
 		return err
 	}
+	if !s.beginSession(conn) {
+		conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+		wire.WriteFrame(conn, core.FrameError, []byte(core.DrainingMessage))
+		return fmt.Errorf("transport: draining, session rejected")
+	}
+	inSession = true
 	if typ != core.FrameQuery {
 		return s.replyError(conn, fmt.Errorf("expected query frame, got %d", typ))
 	}
@@ -165,11 +296,21 @@ func (s *Server) serveQuery(conn net.Conn) error {
 		// prefixes the location frames with a count frame instead.
 		n = -1
 	}
+	maxLocs := s.MaxLocations
+	if maxLocs == 0 {
+		maxLocs = DefaultMaxLocations
+	}
+	if n > maxLocs {
+		return s.replyError(conn, fmt.Errorf("query announces %d locations, limit %d", n, maxLocs))
+	}
 	var locs []*core.LocationMsg
 	expected := n
 	for {
 		if expected >= 0 && len(locs) == expected {
 			break
+		}
+		if len(locs) >= maxLocs {
+			return s.replyError(conn, fmt.Errorf("session exceeds %d location frames", maxLocs))
 		}
 		if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
 			return err
@@ -210,8 +351,84 @@ func (s *Server) replyError(conn net.Conn, cause error) error {
 	return fmt.Errorf("wire: rejected query: %w", cause)
 }
 
-// Client is a core.Service that talks to a remote Server. It is safe for
-// sequential use; guard with a mutex for concurrent queries.
+// countingReader tracks how many bytes of the server's reply have been
+// consumed: a failure after the first answer byte is past the
+// retry-safety boundary runSession enforces.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// runSession performs one query session on conn: query frame, location
+// frames, optional end-of-locations sentinel, then the reply. The context
+// deadline bounds every frame exchange.
+//
+// Error classification (see internal/core): every failure up to the first
+// reply byte is marked core.Retryable — the server either never saw the
+// session or abandoned it whole, and PPGNN sessions are idempotent, so a
+// resend from scratch on a fresh connection is safe. A failure after the
+// first reply byte is left unmarked (the extremely rare mid-answer cut),
+// and a FrameError reply becomes a *core.RemoteError, retryable only for
+// the transient busy/draining messages.
+func runSession(ctx context.Context, conn net.Conn, q *core.QueryMsg, locs []*core.LocationMsg, meter *cost.Meter) (*core.AnswerMsg, error) {
+	qb := q.Marshal()
+	if err := wire.WriteFrameCtx(ctx, conn, core.FrameQuery, qb); err != nil {
+		return nil, core.Retryable(err)
+	}
+	meter.AddBytes(cost.UserToLSP, len(qb)+wire.FrameHeaderSize)
+	for _, lm := range locs {
+		lb := lm.Marshal()
+		if err := wire.WriteFrameCtx(ctx, conn, core.FrameLocation, lb); err != nil {
+			return nil, core.Retryable(err)
+		}
+		meter.AddBytes(cost.UserToLSP, len(lb)+wire.FrameHeaderSize)
+	}
+	// End-of-locations sentinel for variants that don't announce n.
+	n := 0
+	for _, v := range q.NBar {
+		n += v
+	}
+	if q.Variant == core.VariantNaive || n == 0 {
+		if err := wire.WriteFrameCtx(ctx, conn, core.FrameAnswer, nil); err != nil {
+			return nil, core.Retryable(err)
+		}
+		meter.AddBytes(cost.UserToLSP, wire.FrameHeaderSize)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, core.Retryable(err)
+	}
+	dl, _ := ctx.Deadline()
+	if err := conn.SetReadDeadline(dl); err != nil {
+		return nil, core.Retryable(err)
+	}
+	cr := &countingReader{r: conn}
+	typ, payload, err := wire.ReadFrame(cr)
+	if err != nil {
+		if cr.n == 0 {
+			return nil, core.Retryable(err)
+		}
+		return nil, fmt.Errorf("transport: connection lost mid-answer: %w", err)
+	}
+	meter.AddBytes(cost.LSPToUser, len(payload)+wire.FrameHeaderSize)
+	switch typ {
+	case core.FrameAnswer:
+		return core.UnmarshalAnswer(payload)
+	case core.FrameError:
+		return nil, &core.RemoteError{Msg: string(payload)}
+	default:
+		return nil, fmt.Errorf("wire: unexpected frame type %d", typ)
+	}
+}
+
+// Client is a core.Service that talks to a remote Server over one
+// connection. It is safe for sequential use and performs no retries; use
+// Pool for concurrent queries and fault tolerance.
 type Client struct {
 	conn  net.Conn
 	Meter *cost.Meter // optional: counts bytes actually sent/received
@@ -231,41 +448,7 @@ func (c *Client) Close() error { return c.conn.Close() }
 
 // Process implements core.Service over the TCP connection.
 func (c *Client) Process(q *core.QueryMsg, locs []*core.LocationMsg) (*core.AnswerMsg, error) {
-	qb := q.Marshal()
-	if err := wire.WriteFrame(c.conn, core.FrameQuery, qb); err != nil {
-		return nil, err
-	}
-	c.Meter.AddBytes(cost.UserToLSP, len(qb)+5)
-	for _, lm := range locs {
-		lb := lm.Marshal()
-		if err := wire.WriteFrame(c.conn, core.FrameLocation, lb); err != nil {
-			return nil, err
-		}
-		c.Meter.AddBytes(cost.UserToLSP, len(lb)+5)
-	}
-	// End-of-locations sentinel for variants that don't announce n.
-	n := 0
-	for _, v := range q.NBar {
-		n += v
-	}
-	if q.Variant == core.VariantNaive || n == 0 {
-		if err := wire.WriteFrame(c.conn, core.FrameAnswer, nil); err != nil {
-			return nil, err
-		}
-	}
-	typ, payload, err := wire.ReadFrame(c.conn)
-	if err != nil {
-		return nil, err
-	}
-	c.Meter.AddBytes(cost.LSPToUser, len(payload)+5)
-	switch typ {
-	case core.FrameAnswer:
-		return core.UnmarshalAnswer(payload)
-	case core.FrameError:
-		return nil, fmt.Errorf("wire: LSP rejected query: %s", payload)
-	default:
-		return nil, fmt.Errorf("wire: unexpected frame type %d", typ)
-	}
+	return runSession(context.Background(), c.conn, q, locs, c.Meter)
 }
 
 var _ core.Service = (*Client)(nil)

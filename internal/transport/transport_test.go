@@ -1,7 +1,10 @@
 package transport
 
 import (
+	"errors"
 	"math/rand"
+	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -9,13 +12,25 @@ import (
 	"ppgnn/internal/core"
 	"ppgnn/internal/cost"
 	"ppgnn/internal/dataset"
+	"ppgnn/internal/faultnet"
 	"ppgnn/internal/geo"
+	"ppgnn/internal/gnn"
+	"ppgnn/internal/wire"
 )
 
 func startServer(t *testing.T, nPOIs int) (*Server, string) {
+	return startServerWith(t, nPOIs, nil)
+}
+
+// startServerWith applies configure before the accept loop starts, so
+// tests can set server knobs without racing it.
+func startServerWith(t *testing.T, nPOIs int, configure func(*Server)) (*Server, string) {
 	t.Helper()
 	lsp := core.NewLSP(dataset.Synthetic(5, nPOIs), geo.UnitRect)
 	srv := NewServer(lsp)
+	if configure != nil {
+		configure(srv)
+	}
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -213,6 +228,274 @@ func TestAddrBeforeListen(t *testing.T) {
 	}
 	if got.String() != addr.String() {
 		t.Fatalf("Addr = %v, Listen returned %v", got, addr)
+	}
+}
+
+// slowServer starts a server whose LSP blocks in Search until release is
+// called (once per query), signalling entry on started.
+func slowServer(t *testing.T, drain time.Duration) (srv *Server, addr string, started chan struct{}, release chan struct{}) {
+	t.Helper()
+	lsp := core.NewLSP(dataset.Synthetic(5, 300), geo.UnitRect)
+	started = make(chan struct{}, 8)
+	release = make(chan struct{})
+	inner := lsp.Search
+	// Search runs once per candidate query, so signal and gate
+	// tolerantly: started never blocks, release is a close-once gate.
+	lsp.Search = func(query []geo.Point, k int, agg gnn.Aggregate) []gnn.Result {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-release
+		return inner(query, k, agg)
+	}
+	srv = NewServer(lsp)
+	srv.DrainTimeout = drain
+	bound, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, bound.String(), started, release
+}
+
+// TestGracefulDrain: Close while a session is mid-query must let the
+// session finish and deliver its answer.
+func TestGracefulDrain(t *testing.T) {
+	srv, addr, started, release := slowServer(t, 5*time.Second)
+	g, err := core.NewGroup(testParams(2, core.VariantPPGNN),
+		[]geo.Point{{X: 0.3, Y: 0.3}, {X: 0.4, Y: 0.4}}, rand.New(rand.NewSource(20)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	type outcome struct {
+		res *core.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := g.Run(cli, nil)
+		done <- outcome{res, err}
+	}()
+	<-started // the session is now in-flight on the server
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+	// Close must be draining, not killing: the client's query is still
+	// pending and completes once the LSP is released.
+	select {
+	case o := <-done:
+		t.Fatalf("query finished before release: res=%v err=%v", o.res, o.err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(release)
+	o := <-done
+	if o.err != nil {
+		t.Fatalf("drained session failed: %v", o.err)
+	}
+	if len(o.res.Points) == 0 {
+		t.Fatal("drained session returned an empty answer")
+	}
+	if err := <-closed; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDrainTimeoutForceCloses: a session that outlives DrainTimeout is
+// cut, and Close returns promptly instead of hanging.
+func TestDrainTimeoutForceCloses(t *testing.T) {
+	srv, addr, started, release := slowServer(t, 50*time.Millisecond)
+	g, err := core.NewGroup(testParams(2, core.VariantPPGNN),
+		[]geo.Point{{X: 0.5, Y: 0.2}, {X: 0.6, Y: 0.3}}, rand.New(rand.NewSource(21)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := g.Run(cli, nil)
+		errc <- err
+	}()
+	<-started
+	start := time.Now()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 50*time.Millisecond {
+		t.Fatalf("Close returned after %v, before the drain timeout", elapsed)
+	}
+	if elapsed > 3*time.Second {
+		t.Fatalf("Close hung %v on a stuck session", elapsed)
+	}
+	close(release) // let the stuck LSP goroutine finish
+	if err := <-errc; err == nil {
+		t.Fatal("query on a force-closed connection succeeded")
+	}
+}
+
+// TestMaxConnsShedding: a connection over the limit is rejected with the
+// retryable busy message instead of a silent close.
+func TestMaxConnsShedding(t *testing.T) {
+	srv, addr := startServerWith(t, 300, func(s *Server) { s.MaxConns = 1 })
+	hog, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hog.Close()
+	// Wait until the hog's connection is registered by the accept loop.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		srv.mu.Lock()
+		n := len(srv.conns)
+		srv.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("hog connection never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	g, err := core.NewGroup(testParams(2, core.VariantPPGNN),
+		[]geo.Point{{X: 0.2, Y: 0.5}, {X: 0.3, Y: 0.6}}, rand.New(rand.NewSource(22)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, locs, err := g.BuildQuery(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = cli.Process(q, locs)
+	var re *core.RemoteError
+	if !errors.As(err, &re) || re.Msg != core.BusyMessage {
+		t.Fatalf("err = %v, want busy RemoteError", err)
+	}
+	if !core.IsRetryable(err) {
+		t.Fatal("shedding rejection must be retryable")
+	}
+}
+
+// TestSessionPanicRecovery: a panicking LSP code path ends one session
+// with a FrameError, not the process; the server keeps serving.
+func TestSessionPanicRecovery(t *testing.T) {
+	lsp := core.NewLSP(dataset.Synthetic(5, 300), geo.UnitRect)
+	var once sync.Once
+	inner := lsp.Search
+	lsp.Search = func(query []geo.Point, k int, agg gnn.Aggregate) []gnn.Result {
+		panicked := false
+		once.Do(func() { panicked = true })
+		if panicked {
+			panic("injected search fault")
+		}
+		return inner(query, k, agg)
+	}
+	srv := NewServer(lsp)
+	bound, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	addr := bound.String()
+
+	g, err := core.NewGroup(testParams(2, core.VariantPPGNN),
+		[]geo.Point{{X: 0.4, Y: 0.1}, {X: 0.5, Y: 0.2}}, rand.New(rand.NewSource(23)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(cli, nil); err == nil {
+		t.Fatal("query served by a panicking LSP succeeded")
+	}
+	cli.Close()
+	// The process survived; a second session succeeds.
+	cli2, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli2.Close()
+	if _, err := g.Run(cli2, nil); err != nil {
+		t.Fatalf("server did not survive the session panic: %v", err)
+	}
+}
+
+// TestMaxLocationsCap: a client streaming unbounded location frames in an
+// unknown-n session is rejected instead of pinning the session goroutine.
+func TestMaxLocationsCap(t *testing.T) {
+	_, addr := startServerWith(t, 300, func(s *Server) { s.MaxLocations = 4 })
+	p := testParams(2, core.VariantNaive)
+	g, err := core.NewGroup(p, []geo.Point{{X: 0.2, Y: 0.2}, {X: 0.8, Y: 0.8}}, rand.New(rand.NewSource(24)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, locs, err := g.BuildQuery(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := wire.WriteFrame(conn, core.FrameQuery, q.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	// Never send the sentinel; just keep streaming location frames.
+	lb := locs[0].Marshal()
+	for i := 0; i < 16; i++ {
+		if err := wire.WriteFrame(conn, core.FrameLocation, lb); err != nil {
+			break // server may cut the connection after rejecting
+		}
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	typ, payload, err := wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatalf("no reply to a location flood: %v", err)
+	}
+	if typ != core.FrameError || !strings.Contains(string(payload), "location frames") {
+		t.Fatalf("reply = type %d %q, want location-cap FrameError", typ, payload)
+	}
+}
+
+// TestAcceptFailureResilience: transient accept failures (injected via
+// faultnet) must not kill the accept loop.
+func TestAcceptFailureResilience(t *testing.T) {
+	lsp := core.NewLSP(dataset.Synthetic(5, 300), geo.UnitRect)
+	srv := NewServer(lsp)
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Serve(faultnet.WrapListener(inner, 3)).String()
+	t.Cleanup(func() { srv.Close() })
+	g, err := core.NewGroup(testParams(2, core.VariantPPGNN),
+		[]geo.Point{{X: 0.3, Y: 0.7}, {X: 0.4, Y: 0.8}}, rand.New(rand.NewSource(25)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := g.Run(cli, nil); err != nil {
+		t.Fatalf("query after injected accept failures: %v", err)
 	}
 }
 

@@ -1,0 +1,124 @@
+package wire
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"ppgnn/internal/faultnet"
+)
+
+// frameOver writes one frame through a fault-injecting conn from a
+// goroutine and reads it on the peer, returning the read outcome.
+func frameOver(t *testing.T, f faultnet.Faults, msgType byte, payload []byte) (byte, []byte, error) {
+	t.Helper()
+	a, b := net.Pipe()
+	defer b.Close()
+	w := faultnet.Wrap(a, f)
+	go func() {
+		WriteFrame(w, msgType, payload)
+		w.Close()
+	}()
+	b.SetReadDeadline(time.Now().Add(5 * time.Second))
+	return ReadFrame(b)
+}
+
+func TestFrameFragmentedRoundTrip(t *testing.T) {
+	payload := make([]byte, 300)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	typ, got, err := frameOver(t, faultnet.Faults{Seed: 3, MaxChunk: 7}, 2, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != 2 || len(got) != len(payload) {
+		t.Fatalf("frame = type %d, %d bytes; want type 2, %d bytes", typ, len(got), len(payload))
+	}
+	for i := range got {
+		if got[i] != payload[i] {
+			t.Fatalf("payload corrupted at %d", i)
+		}
+	}
+}
+
+func TestFrameZeroLengthPayload(t *testing.T) {
+	typ, got, err := frameOver(t, faultnet.Faults{Seed: 4, MaxChunk: 2}, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != 3 || len(got) != 0 {
+		t.Fatalf("frame = type %d, %d bytes; want type 3, empty", typ, len(got))
+	}
+}
+
+func TestFrameMidHeaderEOF(t *testing.T) {
+	_, _, err := frameOver(t, faultnet.Faults{WriteResetAfter: 3}, 1, []byte("payload"))
+	if err == nil {
+		t.Fatal("ReadFrame accepted a frame cut inside the header")
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want unexpected EOF", err)
+	}
+}
+
+func TestFrameMidPayloadEOF(t *testing.T) {
+	payload := make([]byte, 100)
+	cut := int64(FrameHeaderSize + 40)
+	_, _, err := frameOver(t, faultnet.Faults{WriteResetAfter: cut}, 1, payload)
+	if err == nil {
+		t.Fatal("ReadFrame accepted a frame cut inside the payload")
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want unexpected EOF", err)
+	}
+}
+
+func TestFrameOversizedLengthPrefix(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	go func() {
+		var hdr [FrameHeaderSize]byte
+		hdr[0] = 1
+		binary.BigEndian.PutUint32(hdr[1:], uint32(MaxFrameSize+1))
+		a.Write(hdr[:])
+		a.Close()
+	}()
+	b.SetReadDeadline(time.Now().Add(5 * time.Second))
+	_, _, err := ReadFrame(b)
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("err = %v, want frame-limit rejection", err)
+	}
+}
+
+func TestFrameCtxDeadline(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	// Nothing ever arrives: the read must fail at the context deadline
+	// instead of hanging.
+	start := time.Now()
+	_, _, err := ReadFrameCtx(ctx, b)
+	if err == nil {
+		t.Fatal("ReadFrameCtx returned without input")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("ReadFrameCtx honored no deadline (%v)", elapsed)
+	}
+	// A cancelled context fails fast on both paths.
+	done, cancelDone := context.WithCancel(context.Background())
+	cancelDone()
+	if err := WriteFrameCtx(done, a, 1, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("WriteFrameCtx on cancelled ctx: %v", err)
+	}
+	if _, _, err := ReadFrameCtx(done, b); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ReadFrameCtx on cancelled ctx: %v", err)
+	}
+}

@@ -1,0 +1,44 @@
+package wire
+
+import (
+	"context"
+	"io"
+	"time"
+)
+
+// DeadlineConn is the subset of net.Conn the deadline-aware frame I/O
+// needs. net.Pipe conns and faultnet wrappers satisfy it too.
+type DeadlineConn interface {
+	io.ReadWriter
+	SetReadDeadline(t time.Time) error
+	SetWriteDeadline(t time.Time) error
+}
+
+// WriteFrameCtx writes a frame honoring the context deadline: the
+// deadline (or its absence) is installed as the connection's write
+// deadline before writing, so a slow or dead peer cannot stall the writer
+// past it. A context that is already done fails fast without touching the
+// connection.
+func WriteFrameCtx(ctx context.Context, conn DeadlineConn, msgType byte, payload []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	dl, _ := ctx.Deadline() // zero time clears any previous deadline
+	if err := conn.SetWriteDeadline(dl); err != nil {
+		return err
+	}
+	return WriteFrame(conn, msgType, payload)
+}
+
+// ReadFrameCtx reads a frame honoring the context deadline, mirroring
+// WriteFrameCtx on the read side.
+func ReadFrameCtx(ctx context.Context, conn DeadlineConn) (msgType byte, payload []byte, err error) {
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
+	dl, _ := ctx.Deadline()
+	if err := conn.SetReadDeadline(dl); err != nil {
+		return 0, nil, err
+	}
+	return ReadFrame(conn)
+}

@@ -21,6 +21,11 @@ var ErrTruncated = errors.New("wire: truncated input")
 // from hostile length prefixes.
 const MaxFrameSize = 16 << 20
 
+// FrameHeaderSize is the fixed per-frame overhead of WriteFrame: one type
+// byte plus a 4-byte big-endian payload length. Byte accounting (the
+// paper's communication-cost metric) must add it to every payload length.
+const FrameHeaderSize = 5
+
 // Writer builds a binary message. The zero value is ready to use.
 type Writer struct {
 	buf []byte
@@ -247,7 +252,7 @@ func WriteFrame(w io.Writer, msgType byte, payload []byte) error {
 	if len(payload) > MaxFrameSize {
 		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(payload))
 	}
-	var hdr [5]byte
+	var hdr [FrameHeaderSize]byte
 	hdr[0] = msgType
 	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
 	if _, err := w.Write(hdr[:]); err != nil {
@@ -261,7 +266,7 @@ func WriteFrame(w io.Writer, msgType byte, payload []byte) error {
 
 // ReadFrame reads one frame written by WriteFrame.
 func ReadFrame(r io.Reader) (msgType byte, payload []byte, err error) {
-	var hdr [5]byte
+	var hdr [FrameHeaderSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, fmt.Errorf("wire: reading frame header: %w", err)
 	}

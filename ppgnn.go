@@ -157,8 +157,19 @@ func ListenAndServe(s *Server, addr string) (*transport.Server, error) {
 }
 
 // Dial connects to a remote Server; the returned client implements
-// Service.
+// Service over a single connection with no retries. Use NewPool for
+// concurrent queries and fault tolerance.
 func Dial(addr string) (*transport.Client, error) { return transport.Dial(addr) }
+
+// Pool is a fault-tolerant Service over a bounded pool of connections to
+// a remote Server: automatic reconnect, retry with exponential backoff
+// and jitter for transient failures, and per-query deadlines. See
+// DESIGN.md "Transport reliability" for the retry semantics.
+type Pool = transport.Pool
+
+// NewPool returns a Pool serving queries to addr with default sizing;
+// adjust its exported fields before the first query.
+func NewPool(addr string) *Pool { return transport.NewPool(addr) }
 
 // SequoiaDataset returns the deterministic Sequoia-substitute database
 // (62,556 clustered POIs in the unit square; see DESIGN.md §5).
