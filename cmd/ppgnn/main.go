@@ -22,11 +22,16 @@
 //	-dataset F   point file for the in-process LSP
 //	-no-sanitize disable answer sanitation (PPGNN-NAS)
 //	-threshold T require T-of-n users to cooperate for decryption
+//	-quorum-t T  run a quorum group session: complete with any T of the
+//	             n users responding (in-process members; 0 = shared-memory
+//	             group requiring all n)
+//	-member-timeout D  per-member exchange deadline for -quorum-t
 //	-ids         include POI database IDs in the answer
 //	-v           print cost accounting
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -56,6 +61,8 @@ func main() {
 	verbose := flag.Bool("v", false, "print cost accounting")
 	seed := flag.Int64("seed", 0, "RNG seed (0 = time-based)")
 	threshold := flag.Int("threshold", 0, "require t-of-n users for decryption (0 = coordinator key)")
+	quorumT := flag.Int("quorum-t", 0, "complete with any t-of-n users via a quorum group session (0 = require all)")
+	memberTimeout := flag.Duration("member-timeout", 5*time.Second, "per-member exchange deadline for -quorum-t")
 	flag.Parse()
 
 	locs, err := parseLocations(flag.Args())
@@ -103,7 +110,46 @@ func main() {
 	var runQuery func(svc ppgnn.Service, meter *ppgnn.Meter) (*ppgnn.Result, error)
 	var deltaPrime int
 	var keygen time.Duration
-	if *threshold > 0 {
+	if *quorumT > 0 {
+		// Quorum session: the coordinator at locs[0] collects the other
+		// users' contributions over links and completes with any t of the
+		// n responding (-threshold additionally makes decryption joint).
+		var coord *ppgnn.Coordinator
+		var shares []*ppgnn.KeyShare
+		if *threshold > 0 {
+			coord, shares, err = ppgnn.NewThresholdCoordinator(p, locs[0], rng, *threshold)
+		} else {
+			coord, err = ppgnn.NewCoordinator(p, locs[0], rng)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		links := make([]ppgnn.MemberLink, len(locs)-1)
+		for i, loc := range locs[1:] {
+			m := ppgnn.NewGroupMember(loc, rng)
+			if shares != nil {
+				m.TK, m.Share = coord.TK, shares[i]
+			}
+			links[i] = ppgnn.InProcessMember(m)
+		}
+		runQuery = func(svc ppgnn.Service, meter *ppgnn.Meter) (*ppgnn.Result, error) {
+			sess, err := ppgnn.NewSession(coord, links, ppgnn.SessionConfig{
+				Quorum: *quorumT, MemberTimeout: *memberTimeout, Seed: *seed, Meter: meter,
+			})
+			if err != nil {
+				return nil, err
+			}
+			out, err := sess.Run(context.Background(), svc)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(os.Stderr, "session: %d/%d contributors, %d round(s)\n",
+				len(out.Contributors), p.N, out.Rounds)
+			return out.Result, nil
+		}
+		deltaPrime, _ = coord.DeltaPrime(p.N)
+		keygen = coord.KeygenTime
+	} else if *threshold > 0 {
 		tg, err := ppgnn.NewThresholdGroup(p, locs, rng, *threshold)
 		if err != nil {
 			fatal(err)

@@ -1,6 +1,9 @@
 package core
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // Transport error classification. A PPGNN query session is idempotent on
 // the LSP side — the server holds no per-session state once a session
@@ -42,6 +45,62 @@ const (
 func (e *RemoteError) transient() bool {
 	return e.Msg == BusyMessage || e.Msg == DrainingMessage
 }
+
+// Group-session error taxonomy (internal/group). The quorum session
+// manager runs the intra-group phases of Algorithm 1 against n
+// independent member endpoints; its failures divide the same way the
+// transport's do:
+//
+//   - per-member transient: a member's link ate one exchange (timeout,
+//     reset, dial failure). The session retries that member with backoff;
+//     the error never escapes the session.
+//   - ErrBadContribution: a member sent something provably wrong (set
+//     size mismatch, out-of-space point, out-of-range decryption share,
+//     equivocating resubmission). Fatal for that member — it is ejected
+//     and never retried (the same member would just lie again) — but not
+//     for the session, which continues if a quorum survives.
+//   - ErrQuorumLost: fewer than t members remain reachable and honest.
+//     Fatal for the session and NOT retryable: an immediate resend would
+//     face the same dead members. Callers decide whether to re-run later
+//     with a recovered roster.
+
+// ErrQuorumLost reports that a group session lost so many members that no
+// t-quorum can complete it. Match with errors.Is.
+var ErrQuorumLost = errors.New("core: quorum lost")
+
+// ErrBadContribution reports a malformed, duplicate, or equivocating
+// member contribution. Match with errors.Is.
+var ErrBadContribution = errors.New("core: bad member contribution")
+
+// QuorumError carries the roster arithmetic behind an ErrQuorumLost.
+type QuorumError struct {
+	Phase string // session phase that lost the quorum ("contribute", "decrypt")
+	Need  int    // quorum t
+	Have  int    // members still reachable and honest
+	Total int    // original group size n
+}
+
+func (e *QuorumError) Error() string {
+	return fmt.Sprintf("core: quorum lost during %s: %d of %d members alive, need %d",
+		e.Phase, e.Have, e.Total, e.Need)
+}
+
+// Is makes errors.Is(err, ErrQuorumLost) match.
+func (e *QuorumError) Is(target error) bool { return target == ErrQuorumLost }
+
+// ContributionError identifies the member behind an ErrBadContribution
+// and why it was ejected.
+type ContributionError struct {
+	Member int // member index (0 = coordinator)
+	Reason string
+}
+
+func (e *ContributionError) Error() string {
+	return fmt.Sprintf("core: bad contribution from member %d: %s", e.Member, e.Reason)
+}
+
+// Is makes errors.Is(err, ErrBadContribution) match.
+func (e *ContributionError) Is(target error) bool { return target == ErrBadContribution }
 
 // retryableError marks a network-level failure that occurred before any
 // answer byte arrived, so a resend-from-scratch is safe.

@@ -41,6 +41,68 @@ func TestUnmarkedErrorsAreFatal(t *testing.T) {
 	}
 }
 
+// TestErrorClassificationTable pins the retryable-vs-fatal verdict for
+// every error kind the transport and group-session layers produce.
+func TestErrorClassificationTable(t *testing.T) {
+	cases := []struct {
+		name      string
+		err       error
+		retryable bool
+	}{
+		{"nil", nil, false},
+		{"marked transient", Retryable(errors.New("dial tcp: refused")), true},
+		{"marked transient, wrapped", fmt.Errorf("attempt 3: %w", Retryable(io.EOF)), true},
+		{"unmarked network error", io.ErrUnexpectedEOF, false},
+		{"server busy", &RemoteError{Msg: BusyMessage}, true},
+		{"server draining", &RemoteError{Msg: DrainingMessage}, true},
+		{"server rejected query", &RemoteError{Msg: "indicator length 3 != 12"}, false},
+		{"quorum lost", &QuorumError{Phase: "contribute", Need: 3, Have: 2, Total: 5}, false},
+		{"quorum lost, wrapped", fmt.Errorf("session: %w", &QuorumError{Phase: "decrypt", Need: 3, Have: 1, Total: 5}), false},
+		{"bad contribution", &ContributionError{Member: 2, Reason: "set size 7, want 25"}, false},
+		{"bad contribution, wrapped", fmt.Errorf("round 1: %w", &ContributionError{Member: 4, Reason: "equivocating resubmission"}), false},
+		{"bare quorum sentinel", ErrQuorumLost, false},
+		{"bare contribution sentinel", ErrBadContribution, false},
+	}
+	for _, tc := range cases {
+		if got := IsRetryable(tc.err); got != tc.retryable {
+			t.Errorf("%s: IsRetryable = %v, want %v", tc.name, got, tc.retryable)
+		}
+	}
+}
+
+// TestGroupSessionErrorIdentity checks the errors.Is / errors.As plumbing
+// of the typed session errors.
+func TestGroupSessionErrorIdentity(t *testing.T) {
+	qe := fmt.Errorf("running session: %w", &QuorumError{Phase: "contribute", Need: 3, Have: 2, Total: 5})
+	if !errors.Is(qe, ErrQuorumLost) {
+		t.Fatal("QuorumError does not match ErrQuorumLost")
+	}
+	if errors.Is(qe, ErrBadContribution) {
+		t.Fatal("QuorumError matches ErrBadContribution")
+	}
+	var q *QuorumError
+	if !errors.As(qe, &q) || q.Need != 3 || q.Have != 2 || q.Total != 5 || q.Phase != "contribute" {
+		t.Fatalf("QuorumError lost its fields: %+v", q)
+	}
+
+	ce := fmt.Errorf("collecting: %w", &ContributionError{Member: 4, Reason: "share 2 out of range"})
+	if !errors.Is(ce, ErrBadContribution) {
+		t.Fatal("ContributionError does not match ErrBadContribution")
+	}
+	if errors.Is(ce, ErrQuorumLost) {
+		t.Fatal("ContributionError matches ErrQuorumLost")
+	}
+	var c *ContributionError
+	if !errors.As(ce, &c) || c.Member != 4 {
+		t.Fatalf("ContributionError lost its fields: %+v", c)
+	}
+	for _, err := range []error{qe, ce} {
+		if err.Error() == "" {
+			t.Fatal("empty error string")
+		}
+	}
+}
+
 func TestRemoteErrorClassification(t *testing.T) {
 	fatal := &RemoteError{Msg: "protocol version 9, this build speaks 1"}
 	if IsRetryable(fatal) {

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"math/big"
 	"math/rand"
 	"testing"
+
+	"ppgnn/internal/geo"
 )
 
 // Fuzz targets for the message decoders: whatever bytes arrive from the
@@ -67,5 +70,51 @@ func FuzzUnmarshalAnswer(f *testing.F) {
 			t.Fatal("decoded answer with invalid degree")
 		}
 		_ = a.Marshal()
+	})
+}
+
+func FuzzUnmarshalContribution(f *testing.F) {
+	c := &ContributionMsg{Session: 7, Round: 1, Slot: 2}
+	for i := 0; i < 4; i++ {
+		c.Set = append(c.Set, geo.Point{X: float64(i), Y: float64(i * 2)})
+	}
+	seed := c.Marshal()
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2]) // truncated mid-point
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x0F})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := UnmarshalContribution(data)
+		if err != nil {
+			return
+		}
+		// Decoded messages must re-marshal to the bytes they came from
+		// (the encoding is canonical), so equivocation detection can
+		// compare raw payloads.
+		if again, err := UnmarshalContribution(m.Marshal()); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		} else if len(again.Set) != len(m.Set) {
+			t.Fatal("re-decode changed the set size")
+		}
+	})
+}
+
+func FuzzUnmarshalPartial(f *testing.F) {
+	pm := &PartialMsg{Session: 3, Round: 0, Index: 2, Degree: 1, KeyBytes: 4,
+		Shares: []*big.Int{big.NewInt(99), big.NewInt(1 << 30)}}
+	seed := pm.Marshal()
+	f.Add(seed)
+	f.Add(seed[:len(seed)-3]) // truncated mid-share
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x00, 0x02, 0x7F, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := UnmarshalPartial(data)
+		if err != nil {
+			return
+		}
+		if m.Degree < 1 || m.KeyBytes < 1 {
+			t.Fatal("decoded partial with invalid geometry")
+		}
+		_ = m.Marshal()
 	})
 }

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math/big"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ppgnn/internal/geo"
+	"ppgnn/internal/paillier"
+)
+
+func testSpace() geo.Rect {
+	return geo.Rect{Min: geo.Point{X: 0, Y: 0}, Max: geo.Point{X: 100, Y: 100}}
+}
+
+func TestContribRequestRoundTrip(t *testing.T) {
+	req := &ContribRequest{Session: 42, Round: 1, Slot: 3, Pos: 2, SetSize: 5, Space: testSpace()}
+	got, err := UnmarshalContribRequest(req.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *req {
+		t.Fatalf("round trip: got %+v, want %+v", got, req)
+	}
+	// Hostile variants the decoder must reject.
+	for name, bad := range map[string]*ContribRequest{
+		"pos out of range": {Session: 1, SetSize: 3, Pos: 3, Space: testSpace()},
+		"empty set":        {Session: 1, SetSize: 0, Space: testSpace()},
+		"degenerate space": {Session: 1, SetSize: 3, Pos: 0},
+	} {
+		if _, err := UnmarshalContribRequest(bad.Marshal()); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestContributionRoundTripAndValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	req := &ContribRequest{Session: 9, Round: 2, Slot: 1, Pos: 0, SetSize: 4, Space: testSpace()}
+	c := &ContributionMsg{Session: 9, Round: 2, Slot: 1, Set: make([]geo.Point, 4)}
+	for i := range c.Set {
+		c.Set[i] = geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+	}
+	got, err := UnmarshalContribution(c.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Session != c.Session || got.Round != c.Round || got.Slot != c.Slot || len(got.Set) != len(c.Set) {
+		t.Fatalf("round trip: got %+v, want %+v", got, c)
+	}
+	for i := range c.Set {
+		if got.Set[i] != c.Set[i] {
+			t.Fatalf("set[%d]: got %v, want %v", i, got.Set[i], c.Set[i])
+		}
+	}
+	if err := got.Validate(req); err != nil {
+		t.Fatalf("valid contribution rejected: %v", err)
+	}
+	lm := got.LocationMsg()
+	if lm.UserID != 1 || len(lm.Set) != 4 {
+		t.Fatalf("LocationMsg conversion: %+v", lm)
+	}
+
+	for name, mutate := range map[string]func(*ContributionMsg){
+		"wrong session": func(m *ContributionMsg) { m.Session = 8 },
+		"wrong round":   func(m *ContributionMsg) { m.Round = 1 },
+		"wrong slot":    func(m *ContributionMsg) { m.Slot = 2 },
+		"short set":     func(m *ContributionMsg) { m.Set = m.Set[:3] },
+		"out of space":  func(m *ContributionMsg) { m.Set[2] = geo.Point{X: -5, Y: 3} },
+	} {
+		bad := &ContributionMsg{Session: c.Session, Round: c.Round, Slot: c.Slot, Set: append([]geo.Point(nil), c.Set...)}
+		mutate(bad)
+		if err := bad.Validate(req); err == nil {
+			t.Errorf("%s: validated", name)
+		}
+	}
+}
+
+func TestPartialRoundTripAndValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tk, shares, err := paillier.GenerateThresholdKey(rng, 192, 3, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb := (tk.PublicKey.N.BitLen() + 7) / 8
+	degree := 1
+	mod := tk.NS(degree + 1)
+	cts := make([]*big.Int, 3)
+	for i := range cts {
+		cts[i] = new(big.Int).Rand(rng, mod)
+	}
+	req := &PartialRequest{Session: 5, Round: 0, Degree: degree, KeyBytes: kb, Cts: cts}
+	gotReq, err := UnmarshalPartialRequest(req.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotReq.Session != 5 || gotReq.Degree != degree || gotReq.KeyBytes != kb || len(gotReq.Cts) != 3 {
+		t.Fatalf("request round trip: %+v", gotReq)
+	}
+	for i := range cts {
+		if gotReq.Cts[i].Cmp(cts[i]) != 0 {
+			t.Fatalf("ct[%d] mangled", i)
+		}
+	}
+
+	sh := make([]*big.Int, 3)
+	for i := range sh {
+		sh[i] = new(big.Int).Rand(rng, mod)
+		sh[i].Add(sh[i], big.NewInt(1)) // keep in [1, N^(s+1))
+		if sh[i].Cmp(mod) >= 0 {
+			sh[i].Sub(sh[i], big.NewInt(1))
+		}
+	}
+	pm := &PartialMsg{Session: 5, Round: 0, Index: shares[1].Index, Degree: degree, KeyBytes: kb, Shares: sh}
+	gotPm, err := UnmarshalPartial(pm.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotPm.Index != pm.Index || len(gotPm.Shares) != 3 {
+		t.Fatalf("partial round trip: %+v", gotPm)
+	}
+	if err := gotPm.Validate(req, pm.Index, tk); err != nil {
+		t.Fatalf("valid partial rejected: %v", err)
+	}
+
+	for name, mutate := range map[string]func(*PartialMsg){
+		"wrong session":     func(m *PartialMsg) { m.Session = 6 },
+		"wrong round":       func(m *PartialMsg) { m.Round = 1 },
+		"wrong degree":      func(m *PartialMsg) { m.Degree = 2 },
+		"wrong index":       func(m *PartialMsg) { m.Index++ },
+		"share count":       func(m *PartialMsg) { m.Shares = m.Shares[:2] },
+		"zero share":        func(m *PartialMsg) { m.Shares[0] = big.NewInt(0) },
+		"oversize share":    func(m *PartialMsg) { m.Shares[1] = new(big.Int).Set(mod) },
+		"negative-ish huge": func(m *PartialMsg) { m.Shares[2] = new(big.Int).Lsh(mod, 1) },
+	} {
+		bad := &PartialMsg{Session: pm.Session, Round: pm.Round, Index: pm.Index, Degree: pm.Degree,
+			KeyBytes: pm.KeyBytes, Shares: append([]*big.Int(nil), pm.Shares...)}
+		mutate(bad)
+		if err := bad.Validate(req, pm.Index, tk); err == nil {
+			t.Errorf("%s: validated", name)
+		}
+	}
+}
+
+func TestPartialDecodersRejectHostileInput(t *testing.T) {
+	// A hostile count prefix must not force a giant allocation.
+	huge := &PartialRequest{Session: 1, Round: 0, Degree: 1, KeyBytes: 24, Cts: nil}
+	b := huge.Marshal()
+	b[len(b)-1] = 0xFF // count varint continuation: now truncated/hostile
+	if _, err := UnmarshalPartialRequest(b); err == nil {
+		t.Error("hostile count decoded")
+	}
+	if _, err := UnmarshalPartialRequest(nil); err == nil {
+		t.Error("empty request decoded")
+	}
+	if _, err := UnmarshalPartial([]byte{0x01, 0x00, 0x01}); err == nil {
+		t.Error("truncated partial decoded")
+	}
+	// Degree beyond MaxS must be rejected before the vector is read.
+	bad := &PartialMsg{Session: 1, Degree: paillier.MaxS + 1, KeyBytes: 1, Index: 1,
+		Shares: []*big.Int{big.NewInt(1)}}
+	if _, err := UnmarshalPartial(bad.Marshal()); err == nil ||
+		!strings.Contains(err.Error(), "degree") {
+		t.Errorf("oversized degree: %v", err)
+	}
+}

@@ -1,0 +1,473 @@
+package group
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ppgnn/internal/core"
+	"ppgnn/internal/cost"
+	"ppgnn/internal/dataset"
+	"ppgnn/internal/geo"
+	"ppgnn/internal/gnn"
+	"ppgnn/internal/paillier"
+)
+
+// Key sizes mirror the core tests: correctness is size-independent, and
+// threshold keygen at 192 bits keeps joint-decryption tests fast.
+const (
+	testKeyBits          = 256
+	testThresholdKeyBits = 192
+)
+
+func testLSP(nPOIs int) *core.LSP {
+	return core.NewLSP(dataset.Synthetic(123, nPOIs), geo.UnitRect)
+}
+
+func testParams(n int, variant core.Variant) core.Params {
+	p := core.DefaultParams(n)
+	p.KeyBits = testKeyBits
+	p.D = 6
+	p.Delta = 12
+	p.K = 6
+	p.Variant = variant
+	p.NoSanitize = true // exact oracle comparison
+	return p
+}
+
+// fastCfg keeps fault tests quick: one attempt, short deadlines.
+func fastCfg(quorum int) Config {
+	return Config{
+		Quorum:        quorum,
+		MemberTimeout: 500 * time.Millisecond,
+		Retries:       -1,
+		RetryBase:     time.Millisecond,
+		RetryMax:      5 * time.Millisecond,
+		Seed:          42,
+	}
+}
+
+// rig is a coordinator, its members, and the links between them.
+type rig struct {
+	p       core.Params
+	lsp     *core.LSP
+	coord   *core.Coordinator
+	members []*Member
+	links   []Link
+	locs    []geo.Point
+}
+
+// newRig builds an in-process group of n users (coordinator + n−1
+// members) over ProcLinks; thresholdT > 0 deals key shares.
+func newRig(t *testing.T, n int, variant core.Variant, thresholdT int, seed int64) *rig {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	locs := make([]geo.Point, n)
+	for i := range locs {
+		locs[i] = geo.Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	p := testParams(n, variant)
+	var coord *core.Coordinator
+	var shares []*paillier.KeyShare
+	var err error
+	if thresholdT > 0 {
+		p.KeyBits = testThresholdKeyBits
+		coord, shares, err = core.NewThresholdCoordinator(p, locs[0], rng, thresholdT)
+	} else {
+		coord, err = core.NewCoordinator(p, locs[0], rng)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &rig{p: p, lsp: testLSP(2000), coord: coord, locs: locs}
+	for i := 0; i < n-1; i++ {
+		m := NewMember(locs[i+1], nil, rand.New(rand.NewSource(seed+int64(i)+1)))
+		if thresholdT > 0 {
+			m.TK, m.Share = coord.TK, shares[i]
+		}
+		r.members = append(r.members, m)
+		r.links = append(r.links, NewProcLink(m))
+	}
+	return r
+}
+
+func (r *rig) service(m *cost.Meter) core.Service {
+	return core.LocalService{LSP: r.lsp, Meter: m}
+}
+
+// checkOracle compares the session's answer against the plaintext kGNN
+// oracle over the contributors' real locations.
+func checkOracle(t *testing.T, r *rig, out *Outcome) {
+	t.Helper()
+	if out == nil || out.Result == nil {
+		t.Fatal("no result")
+	}
+	real := make([]geo.Point, len(out.Contributors))
+	for i, id := range out.Contributors {
+		real[i] = r.locs[id]
+	}
+	want := r.lsp.Search(real, r.p.K, gnn.Sum)
+	if len(out.Result.Points) != len(want) {
+		t.Fatalf("got %d POIs, want %d", len(out.Result.Points), len(want))
+	}
+	for i := range want {
+		if out.Result.Points[i].Dist(want[i].Item.P) > 1e-6 {
+			t.Fatalf("rank %d: got %v, want %v", i, out.Result.Points[i], want[i].Item.P)
+		}
+	}
+}
+
+func TestSessionHappyPath(t *testing.T) {
+	for _, variant := range []core.Variant{core.VariantPPGNN, core.VariantOPT, core.VariantNaive} {
+		r := newRig(t, 4, variant, 0, 7)
+		var m cost.Meter
+		s, err := NewSession(r.coord, r.links, Config{Seed: 1, Meter: &m})
+		if err != nil {
+			t.Fatalf("%v: %v", variant, err)
+		}
+		out, err := s.Run(context.Background(), r.service(&m))
+		if err != nil {
+			t.Fatalf("%v: %v", variant, err)
+		}
+		if s.Phase() != PhaseDone {
+			t.Fatalf("%v: phase %s, want done", variant, s.Phase())
+		}
+		if out.Rounds != 1 || len(out.Ejected) != 0 {
+			t.Fatalf("%v: rounds=%d ejected=%v, want a clean single round", variant, out.Rounds, out.Ejected)
+		}
+		if len(out.Contributors) != 4 {
+			t.Fatalf("%v: contributors %v, want all 4", variant, out.Contributors)
+		}
+		checkOracle(t, r, out)
+		if m.Snapshot().IntraGroupBytes == 0 {
+			t.Fatalf("%v: no intra-group bytes metered", variant)
+		}
+	}
+}
+
+func TestSessionSingleUse(t *testing.T) {
+	r := newRig(t, 4, core.VariantPPGNN, 0, 7)
+	s, err := NewSession(r.coord, r.links, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(context.Background(), r.service(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(context.Background(), r.service(nil)); err == nil {
+		t.Fatal("second Run succeeded, want error")
+	}
+}
+
+// deadLink fails every send immediately with a retryable error — a member
+// whose endpoint is unreachable.
+type deadLink struct{}
+
+func (deadLink) Send(ctx context.Context, msgType byte, payload []byte) error {
+	return core.Retryable(errors.New("link down"))
+}
+
+func (deadLink) Recv(ctx context.Context) (byte, []byte, error) {
+	<-ctx.Done()
+	return 0, nil, core.Retryable(ctx.Err())
+}
+
+func (deadLink) Reset()       {}
+func (deadLink) Close() error { return nil }
+
+func TestSessionDropoutRepartitions(t *testing.T) {
+	r := newRig(t, 4, core.VariantPPGNN, 0, 11)
+	r.links[1] = deadLink{} // member 2 never answers
+	s, err := NewSession(r.coord, r.links, fastCfg(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Run(context.Background(), r.service(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rounds != 2 {
+		t.Fatalf("rounds=%d, want 2 (one re-partition)", out.Rounds)
+	}
+	wantContrib := []int{0, 1, 3}
+	if len(out.Contributors) != len(wantContrib) {
+		t.Fatalf("contributors %v, want %v", out.Contributors, wantContrib)
+	}
+	for i, id := range wantContrib {
+		if out.Contributors[i] != id {
+			t.Fatalf("contributors %v, want %v", out.Contributors, wantContrib)
+		}
+	}
+	ferr, ok := out.Ejected[2]
+	if !ok {
+		t.Fatalf("ejected=%v, want member 2 recorded", out.Ejected)
+	}
+	if errors.Is(ferr, core.ErrBadContribution) {
+		t.Fatalf("dropout misclassified as bad contribution: %v", ferr)
+	}
+	checkOracle(t, r, out)
+}
+
+func TestSessionQuorumLostFailsFast(t *testing.T) {
+	r := newRig(t, 4, core.VariantPPGNN, 0, 13)
+	r.links[0] = deadLink{}
+	r.links[2] = deadLink{}
+	s, err := NewSession(r.coord, r.links, fastCfg(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	out, err := s.Run(context.Background(), r.service(nil))
+	elapsed := time.Since(start)
+	if !errors.Is(err, core.ErrQuorumLost) {
+		t.Fatalf("err=%v, want ErrQuorumLost", err)
+	}
+	var qe *core.QuorumError
+	if !errors.As(err, &qe) || qe.Phase != "contribute" || qe.Need != 3 {
+		t.Fatalf("quorum error detail %+v", qe)
+	}
+	if s.Phase() != PhaseFailed {
+		t.Fatalf("phase %s, want failed", s.Phase())
+	}
+	if len(out.Ejected) < 2 {
+		t.Fatalf("ejected=%v, want both dead members named", out.Ejected)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("quorum loss took %v, want fast failure", elapsed)
+	}
+}
+
+// mangler corrupts the member's contribution by dropping a point — a
+// malformed (wrong set size) but well-encoded reply.
+type mangler struct{ h Handler }
+
+func (w mangler) Handle(msgType byte, payload []byte) (byte, []byte, error) {
+	rt, rp, err := w.h.Handle(msgType, payload)
+	if err == nil && rt == core.FrameContrib {
+		cm, cerr := core.UnmarshalContribution(rp)
+		if cerr != nil {
+			return rt, rp, err
+		}
+		cm.Set = cm.Set[:len(cm.Set)-1]
+		rp = cm.Marshal()
+	}
+	return rt, rp, err
+}
+
+func TestSessionEjectsMalformedContribution(t *testing.T) {
+	r := newRig(t, 4, core.VariantPPGNN, 0, 17)
+	r.links[2] = NewProcLink(mangler{r.members[2]})
+	s, err := NewSession(r.coord, r.links, fastCfg(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Run(context.Background(), r.service(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ferr, ok := out.Ejected[3]
+	if !ok || !errors.Is(ferr, core.ErrBadContribution) {
+		t.Fatalf("ejected=%v, want member 3 ejected with ErrBadContribution", out.Ejected)
+	}
+	if out.Rounds != 2 {
+		t.Fatalf("rounds=%d, want 2", out.Rounds)
+	}
+	checkOracle(t, r, out)
+}
+
+// equivLink replays the member's first contribution with one byte flipped
+// whenever a later round asks again — an equivocating resubmission.
+type equivLink struct {
+	Link
+	mu    sync.Mutex
+	first []byte
+}
+
+func (l *equivLink) Recv(ctx context.Context) (byte, []byte, error) {
+	typ, payload, err := l.Link.Recv(ctx)
+	if err != nil || typ != core.FrameContrib {
+		return typ, payload, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.first == nil {
+		l.first = append([]byte(nil), payload...)
+		return typ, payload, nil
+	}
+	forged := append([]byte(nil), l.first...)
+	forged[len(forged)-1] ^= 0x01 // still decodes; coordinates differ
+	return typ, forged, nil
+}
+
+func TestSessionEjectsEquivocation(t *testing.T) {
+	r := newRig(t, 5, core.VariantPPGNN, 0, 19)
+	r.links[0] = deadLink{} // member 1 drops, forcing a second round
+	r.links[3] = &equivLink{Link: r.links[3]}
+	s, err := NewSession(r.coord, r.links, fastCfg(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Run(context.Background(), r.service(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ferr, ok := out.Ejected[4]
+	if !ok || !errors.Is(ferr, core.ErrBadContribution) {
+		t.Fatalf("ejected=%v, want member 4 ejected with ErrBadContribution", out.Ejected)
+	}
+	if !strings.Contains(ferr.Error(), "equivocating") {
+		t.Fatalf("ejection reason %q, want equivocation", ferr)
+	}
+	if out.Rounds != 3 {
+		t.Fatalf("rounds=%d, want 3 (dropout, equivocation, success)", out.Rounds)
+	}
+	checkOracle(t, r, out)
+}
+
+func TestSessionThresholdJointDecryption(t *testing.T) {
+	for _, variant := range []core.Variant{core.VariantPPGNN, core.VariantOPT} {
+		r := newRig(t, 4, variant, 3, 23)
+		s, err := NewSession(r.coord, r.links, Config{Seed: 2})
+		if err != nil {
+			t.Fatalf("%v: %v", variant, err)
+		}
+		out, err := s.Run(context.Background(), r.service(nil))
+		if err != nil {
+			t.Fatalf("%v: %v", variant, err)
+		}
+		if len(out.Ejected) != 0 {
+			t.Fatalf("%v: ejected=%v, want none", variant, out.Ejected)
+		}
+		checkOracle(t, r, out)
+	}
+}
+
+// partialDeath serves contributions normally but refuses partial
+// decryptions — a member crashing between the two phases.
+type partialDeath struct{ h Handler }
+
+func (w partialDeath) Handle(msgType byte, payload []byte) (byte, []byte, error) {
+	if msgType == core.FramePartialReq {
+		return core.FrameError, []byte("member crashed"), nil
+	}
+	return w.h.Handle(msgType, payload)
+}
+
+// delayPartial delays the member's decryption shares, ordering the
+// session's receipt of replies deterministically in tests.
+type delayPartial struct {
+	Link
+	d time.Duration
+}
+
+func (l delayPartial) Recv(ctx context.Context) (byte, []byte, error) {
+	typ, payload, err := l.Link.Recv(ctx)
+	if err == nil && typ == core.FramePartial {
+		time.Sleep(l.d)
+	}
+	return typ, payload, err
+}
+
+func TestSessionThresholdSurvivesDecryptDropout(t *testing.T) {
+	r := newRig(t, 4, core.VariantPPGNN, 3, 29)
+	r.links[1] = NewProcLink(partialDeath{r.members[1]})
+	// Delay the healthy members so the crash is read before the quorum
+	// completes and the ejection is recorded deterministically.
+	r.links[0] = delayPartial{r.links[0], 50 * time.Millisecond}
+	r.links[2] = delayPartial{r.links[2], 50 * time.Millisecond}
+	s, err := NewSession(r.coord, r.links, fastCfg(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Run(context.Background(), r.service(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dead member contributed a location before crashing, so the
+	// oracle covers all four users even though it missed decryption.
+	if len(out.Contributors) != 4 {
+		t.Fatalf("contributors %v, want all 4", out.Contributors)
+	}
+	if _, ok := out.Ejected[2]; !ok {
+		t.Fatalf("ejected=%v, want member 2 recorded", out.Ejected)
+	}
+	checkOracle(t, r, out)
+}
+
+func TestSessionThresholdQuorumLostInDecrypt(t *testing.T) {
+	r := newRig(t, 4, core.VariantPPGNN, 3, 31)
+	r.links[0] = NewProcLink(partialDeath{r.members[0]})
+	r.links[2] = NewProcLink(partialDeath{r.members[2]})
+	s, err := NewSession(r.coord, r.links, fastCfg(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Run(context.Background(), r.service(nil))
+	if !errors.Is(err, core.ErrQuorumLost) {
+		t.Fatalf("err=%v, want ErrQuorumLost", err)
+	}
+	var qe *core.QuorumError
+	if !errors.As(err, &qe) || qe.Phase != "decrypt" {
+		t.Fatalf("quorum error detail %+v", qe)
+	}
+}
+
+// slowPartial withholds the member's decryption shares until the session
+// gives up on it — a straggler in the decrypt phase.
+type slowPartial struct{ Link }
+
+func (l slowPartial) Recv(ctx context.Context) (byte, []byte, error) {
+	typ, payload, err := l.Link.Recv(ctx)
+	if err != nil || typ != core.FramePartial {
+		return typ, payload, err
+	}
+	<-ctx.Done()
+	return 0, nil, core.Retryable(ctx.Err())
+}
+
+func TestSessionThresholdCancelsStragglers(t *testing.T) {
+	// T=2: the coordinator's own share plus any single member's completes
+	// the decryption; the two stragglers must be cancelled, not ejected.
+	r := newRig(t, 4, core.VariantPPGNN, 2, 37)
+	r.links[0] = slowPartial{r.links[0]}
+	r.links[2] = slowPartial{r.links[2]}
+	s, err := NewSession(r.coord, r.links, Config{Quorum: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	out, err := s.Run(context.Background(), r.service(nil))
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Ejected) != 0 {
+		t.Fatalf("ejected=%v — stragglers must not lose their roster spot", out.Ejected)
+	}
+	if elapsed > DefaultMemberTimeout {
+		t.Fatalf("session took %v, want completion without waiting out the stragglers", elapsed)
+	}
+	checkOracle(t, r, out)
+}
+
+func TestNewSessionValidation(t *testing.T) {
+	r := newRig(t, 4, core.VariantPPGNN, 0, 41)
+	if _, err := NewSession(r.coord, r.links[:2], Config{}); err == nil {
+		t.Fatal("link/roster mismatch accepted")
+	}
+	if _, err := NewSession(r.coord, r.links, Config{Quorum: 5}); err == nil {
+		t.Fatal("quorum above roster accepted")
+	}
+	rt := newRig(t, 4, core.VariantPPGNN, 3, 43)
+	s, err := NewSession(rt.coord, rt.links, Config{Quorum: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Quorum() != 3 {
+		t.Fatalf("quorum=%d, want raised to the key threshold 3", s.Quorum())
+	}
+}

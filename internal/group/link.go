@@ -1,0 +1,231 @@
+// Package group runs the intra-group phases of Algorithm 1 against n
+// independent member endpoints instead of shared memory. A coordinator-
+// side Session fans requests out to the members over Links, validates
+// every contribution on receipt, and completes as soon as a quorum of
+// members responds — dropouts are ejected, stragglers cancelled, and a
+// roster that shrinks below the quorum fails fast with core.ErrQuorumLost
+// (see DESIGN.md §8).
+package group
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ppgnn/internal/core"
+	"ppgnn/internal/wire"
+)
+
+// Link is one coordinator↔member channel. Send dispatches a request
+// frame; Recv returns the next reply frame, which may answer an earlier
+// request (links do not correlate — the session matches replies by their
+// echoed session/round). Errors a retry can outlast are marked with
+// core.Retryable. A Link is used by one session goroutine at a time.
+type Link interface {
+	Send(ctx context.Context, msgType byte, payload []byte) error
+	Recv(ctx context.Context) (msgType byte, payload []byte, err error)
+	// Reset discards transport state after a failed exchange, so a retry
+	// starts clean (a NetLink drops its connection and redials).
+	Reset()
+	Close() error
+}
+
+// Handler is the member-side request processor: one reply frame per
+// request frame. A returned error is delivered to the coordinator as a
+// FrameError payload. Implementations must be safe for concurrent use —
+// a member may serve several coordinator connections.
+type Handler interface {
+	Handle(msgType byte, payload []byte) (respType byte, resp []byte, err error)
+}
+
+// ProcLink runs a Handler in-process: Send hands the request to the
+// handler on a fresh goroutine, Recv delivers the queued replies. The
+// queue is bounded; replies beyond the bound are dropped, which the
+// session experiences as loss and retries — exactly how an overloaded
+// member behaves on a real link.
+type ProcLink struct {
+	H       Handler
+	replies chan procFrame
+
+	mu     sync.Mutex
+	closed bool
+}
+
+type procFrame struct {
+	typ     byte
+	payload []byte
+}
+
+// NewProcLink wraps a Handler as an in-process Link.
+func NewProcLink(h Handler) *ProcLink {
+	return &ProcLink{H: h, replies: make(chan procFrame, 16)}
+}
+
+// Send implements Link.
+func (l *ProcLink) Send(ctx context.Context, msgType byte, payload []byte) error {
+	if err := ctx.Err(); err != nil {
+		return core.Retryable(err)
+	}
+	l.mu.Lock()
+	closed := l.closed
+	l.mu.Unlock()
+	if closed {
+		return fmt.Errorf("group: link closed")
+	}
+	go func() {
+		rt, rp, err := l.H.Handle(msgType, payload)
+		if err != nil {
+			rt, rp = core.FrameError, []byte(err.Error())
+		}
+		select {
+		case l.replies <- procFrame{typ: rt, payload: rp}:
+		default: // queue full: the reply is lost, like a dropped packet
+		}
+	}()
+	return nil
+}
+
+// Recv implements Link.
+func (l *ProcLink) Recv(ctx context.Context) (byte, []byte, error) {
+	select {
+	case f := <-l.replies:
+		return f.typ, f.payload, nil
+	case <-ctx.Done():
+		return 0, nil, core.Retryable(ctx.Err())
+	}
+}
+
+// Reset implements Link. Queued replies are kept: they carry their round
+// and are skipped as stale by the session if outdated.
+func (l *ProcLink) Reset() {}
+
+// Close implements Link.
+func (l *ProcLink) Close() error {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	return nil
+}
+
+// NetLink reaches a member over a net.Conn, dialing lazily and redialing
+// after Reset. Cancellation of a blocked Recv is implemented by forcing
+// the connection's read deadline into the past.
+type NetLink struct {
+	Addr string
+	// DialFunc replaces net.Dial (tests inject faultnet dialers).
+	DialFunc func(addr string) (net.Conn, error)
+
+	mu     sync.Mutex
+	conn   net.Conn
+	closed bool
+}
+
+// DialMember returns a NetLink to a member endpoint.
+func DialMember(addr string) *NetLink { return &NetLink{Addr: addr} }
+
+func (l *NetLink) get() (net.Conn, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, fmt.Errorf("group: link to %s closed", l.Addr)
+	}
+	if l.conn != nil {
+		return l.conn, nil
+	}
+	dial := l.DialFunc
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	conn, err := dial(l.Addr)
+	if err != nil {
+		return nil, core.Retryable(fmt.Errorf("group: dial member %s: %w", l.Addr, err))
+	}
+	l.conn = conn
+	return conn, nil
+}
+
+// Send implements Link.
+func (l *NetLink) Send(ctx context.Context, msgType byte, payload []byte) error {
+	conn, err := l.get()
+	if err != nil {
+		return err
+	}
+	if err := wire.WriteFrameCtx(ctx, conn, msgType, payload); err != nil {
+		l.Reset()
+		return core.Retryable(fmt.Errorf("group: sending to member %s: %w", l.Addr, err))
+	}
+	return nil
+}
+
+// Recv implements Link.
+func (l *NetLink) Recv(ctx context.Context) (byte, []byte, error) {
+	l.mu.Lock()
+	conn := l.conn
+	l.mu.Unlock()
+	if conn == nil {
+		return 0, nil, core.Retryable(fmt.Errorf("group: no connection to member %s", l.Addr))
+	}
+	// Watcher: a cancel without a deadline must still unblock the read.
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.SetReadDeadline(time.Unix(1, 0))
+		case <-done:
+		}
+	}()
+	typ, payload, err := wire.ReadFrameCtx(ctx, conn)
+	close(done)
+	if err != nil {
+		l.Reset()
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			err = ctxErr
+		}
+		return 0, nil, core.Retryable(fmt.Errorf("group: receiving from member %s: %w", l.Addr, err))
+	}
+	return typ, payload, nil
+}
+
+// Reset implements Link: the connection is dropped (any stale bytes die
+// with it) and the next Send redials.
+func (l *NetLink) Reset() {
+	l.mu.Lock()
+	if l.conn != nil {
+		l.conn.Close()
+		l.conn = nil
+	}
+	l.mu.Unlock()
+}
+
+// Close implements Link.
+func (l *NetLink) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	if l.conn != nil {
+		err := l.conn.Close()
+		l.conn = nil
+		return err
+	}
+	return nil
+}
+
+// ServeConn runs the member side of a link: a read-request/write-reply
+// loop until the connection fails or the coordinator hangs up.
+func ServeConn(conn net.Conn, h Handler) error {
+	for {
+		typ, payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			return err
+		}
+		rt, rp, err := h.Handle(typ, payload)
+		if err != nil {
+			rt, rp = core.FrameError, []byte(err.Error())
+		}
+		if err := wire.WriteFrame(conn, rt, rp); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package group
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"sync"
+	"time"
+
+	"ppgnn/internal/core"
+	"ppgnn/internal/dummy"
+	"ppgnn/internal/geo"
+	"ppgnn/internal/paillier"
+)
+
+// Member is the member-side protocol logic: it answers ContribRequests
+// with d-anonymous location sets and, when it holds a key share,
+// PartialRequests with decryption shares. It implements Handler and can
+// sit behind a ProcLink (in-process) or ServeConn (TCP).
+//
+// Replies are idempotent: a repeated request for the same (session,
+// round, slot) returns byte-identical bytes, so a coordinator retry after
+// a lost reply cannot make an honest member look equivocating.
+//
+// Dummy locations are cached per session: across re-partition rounds the
+// member re-sends the same dummy multiset with only the real location
+// moved to the newly requested position. Fresh dummies every round would
+// recreate the multi-query intersection attack inside a single session —
+// the real location would be the only point recurring across rounds (see
+// Group.CacheSets for the cross-query analogue).
+type Member struct {
+	Loc geo.Point
+	Gen dummy.Generator
+	Rng *rand.Rand
+
+	// TK and Share are set in threshold mode.
+	TK    *paillier.ThresholdKey
+	Share *paillier.KeyShare
+
+	mu      sync.Mutex
+	dummies map[dummyKey][]geo.Point
+	replies map[replyKey][]byte
+}
+
+type dummyKey struct {
+	session uint64
+	size    int
+}
+
+type replyKey struct {
+	session uint64
+	round   int
+	kind    byte
+}
+
+// NewMember returns a member at loc drawing dummies with gen (uniform
+// when nil) and randomness from rng (time-seeded when nil).
+func NewMember(loc geo.Point, gen dummy.Generator, rng *rand.Rand) *Member {
+	if gen == nil {
+		gen = dummy.Uniform{}
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return &Member{
+		Loc: loc, Gen: gen, Rng: rng,
+		dummies: make(map[dummyKey][]geo.Point),
+		replies: make(map[replyKey][]byte),
+	}
+}
+
+// Handle implements Handler.
+func (m *Member) Handle(msgType byte, payload []byte) (byte, []byte, error) {
+	switch msgType {
+	case core.FrameContribReq:
+		return m.contribute(payload)
+	case core.FramePartialReq:
+		return m.partial(payload)
+	default:
+		return core.FrameError, []byte(fmt.Sprintf("group: unexpected frame type %d", msgType)), nil
+	}
+}
+
+func (m *Member) contribute(payload []byte) (byte, []byte, error) {
+	req, err := core.UnmarshalContribRequest(payload)
+	if err != nil {
+		return core.FrameError, []byte(err.Error()), nil
+	}
+	if !req.Space.Contains(m.Loc) {
+		return core.FrameError, []byte("group: member location outside the service space"), nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rk := replyKey{session: req.Session, round: req.Round, kind: core.FrameContrib}
+	if b, ok := m.replies[rk]; ok {
+		return core.FrameContrib, b, nil
+	}
+	// One dummy multiset per (session, set size); the real location slots
+	// into the requested position.
+	dk := dummyKey{session: req.Session, size: req.SetSize}
+	dums, ok := m.dummies[dk]
+	if !ok {
+		set := m.Gen.LocationSet(m.Rng, m.Loc, req.SetSize, 0, req.Space)
+		dums = set[1:]
+		m.dummies[dk] = dums
+	}
+	set := make([]geo.Point, 0, req.SetSize)
+	set = append(set, dums[:req.Pos]...)
+	set = append(set, m.Loc)
+	set = append(set, dums[req.Pos:]...)
+	msg := &core.ContributionMsg{Session: req.Session, Round: req.Round, Slot: req.Slot, Set: set}
+	b := msg.Marshal()
+	m.replies[rk] = b
+	return core.FrameContrib, b, nil
+}
+
+func (m *Member) partial(payload []byte) (byte, []byte, error) {
+	req, err := core.UnmarshalPartialRequest(payload)
+	if err != nil {
+		return core.FrameError, []byte(err.Error()), nil
+	}
+	if m.TK == nil || m.Share == nil {
+		return core.FrameError, []byte("group: member holds no key share"), nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rk := replyKey{session: req.Session, round: req.Round, kind: core.FramePartial}
+	if b, ok := m.replies[rk]; ok {
+		return core.FramePartial, b, nil
+	}
+	shares := make([]*big.Int, len(req.Cts))
+	for i, ct := range req.Cts {
+		ds, err := m.TK.PartialDecrypt(m.Share, &paillier.Ciphertext{C: ct, S: req.Degree})
+		if err != nil {
+			return core.FrameError, []byte(fmt.Sprintf("group: partial decryption of element %d: %v", i, err)), nil
+		}
+		shares[i] = ds.Value
+	}
+	msg := &core.PartialMsg{
+		Session: req.Session, Round: req.Round,
+		Index: m.Share.Index, Degree: req.Degree, KeyBytes: req.KeyBytes,
+		Shares: shares,
+	}
+	b := msg.Marshal()
+	m.replies[rk] = b
+	return core.FramePartial, b, nil
+}
+
+var _ Handler = (*Member)(nil)

@@ -1,0 +1,632 @@
+package group
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"ppgnn/internal/core"
+	"ppgnn/internal/cost"
+	"ppgnn/internal/encode"
+	"ppgnn/internal/wire"
+)
+
+// Session defaults; Config fields left zero pick these up.
+const (
+	DefaultMemberTimeout = 5 * time.Second
+	DefaultRetries       = 2
+	DefaultRetryBase     = 25 * time.Millisecond
+	DefaultRetryMax      = 500 * time.Millisecond
+)
+
+// Config tunes a Session.
+type Config struct {
+	// Quorum is the minimum number of participants (coordinator included)
+	// that must contribute for the session to complete; 0 requires the
+	// full roster. Threshold mode raises it to at least the key's T.
+	Quorum int
+	// MemberTimeout bounds one request/reply exchange with one member
+	// (default DefaultMemberTimeout).
+	MemberTimeout time.Duration
+	// Retries is the number of re-sends per exchange after the first
+	// attempt (default DefaultRetries; negative = none).
+	Retries int
+	// RetryBase is the first backoff delay; it doubles per retry up to
+	// RetryMax, each delay jittered in [½d, d) as in transport.Pool.
+	RetryBase time.Duration
+	// RetryMax caps the backoff delay.
+	RetryMax time.Duration
+	// Seed makes the session id and backoff jitter deterministic (0 =
+	// time-seeded).
+	Seed int64
+	// Meter, when set, receives the intra-group and LSP byte counts.
+	Meter *cost.Meter
+	// Logf, when set, receives roster-change progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Phase is a session's position in its lifecycle FSM (DESIGN.md §8).
+type Phase int
+
+const (
+	PhaseInit    Phase = iota // built, not started
+	PhaseCollect              // collecting member contributions (may loop on re-partition)
+	PhaseQuery                // query sent to the LSP, awaiting the answer
+	PhaseDecrypt              // collecting partial decryptions (threshold mode)
+	PhaseDone                 // result available
+	PhaseFailed               // terminal error
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseInit:
+		return "init"
+	case PhaseCollect:
+		return "collect"
+	case PhaseQuery:
+		return "query"
+	case PhaseDecrypt:
+		return "decrypt"
+	case PhaseDone:
+		return "done"
+	case PhaseFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("phase(%d)", int(p))
+}
+
+// Outcome reports how a session ended: the result, who contributed to
+// the final round, and every member removed along the way with the typed
+// error that removed it (errors.Is(err, core.ErrBadContribution)
+// distinguishes ejections from plain dropouts).
+type Outcome struct {
+	Result       *core.Result
+	Contributors []int // roster ids whose sets formed the final query (0 = coordinator)
+	Ejected      map[int]error
+	Rounds       int // contribution rounds run (1 = no re-partition)
+}
+
+// memberState is the session's book-keeping for one member.
+type memberState struct {
+	id       int // roster id, 1..n-1 (0 is the coordinator)
+	shareIdx int // expected key-share index in threshold mode, else 0
+	link     Link
+	// accepted maps round → the raw payload accepted for that round, for
+	// duplicate/equivocation detection on late resubmissions. Only the
+	// session goroutine currently responsible for this member touches it.
+	accepted map[int][]byte
+}
+
+// Session drives one group query against n−1 member links. A Session is
+// single-use: build with NewSession, call Run once.
+type Session struct {
+	coord   *core.Coordinator
+	members []*memberState
+	cfg     Config
+
+	id     uint64
+	n      int // full roster size, coordinator included
+	quorum int // effective quorum, coordinator included
+	phase  Phase
+	round  int // shared round counter across contribute and decrypt phases
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	alive   map[int]bool
+	ejected map[int]error
+}
+
+// NewSession wires a coordinator to its member links. links[i] reaches
+// the member with roster id i+1; in threshold mode that member must hold
+// the key share NewThresholdCoordinator dealt at the same position
+// (share index i+2, the coordinator keeping index 1).
+func NewSession(coord *core.Coordinator, links []Link, cfg Config) (*Session, error) {
+	n := coord.Params.N
+	if len(links) != n-1 {
+		return nil, fmt.Errorf("group: %d links for a roster of %d members", len(links), n)
+	}
+	if cfg.Quorum < 0 || cfg.Quorum > n {
+		return nil, fmt.Errorf("group: quorum %d outside [0,%d]", cfg.Quorum, n)
+	}
+	q := cfg.Quorum
+	if q == 0 {
+		q = n
+	}
+	if coord.TK != nil && q < coord.TK.T {
+		q = coord.TK.T
+	}
+	if q < 2 {
+		q = 2
+	}
+	if cfg.MemberTimeout <= 0 {
+		cfg.MemberTimeout = DefaultMemberTimeout
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = DefaultRetries
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = DefaultRetryBase
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = DefaultRetryMax
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := &Session{
+		coord: coord, cfg: cfg,
+		id: rng.Uint64(), n: n, quorum: q,
+		rng:     rng,
+		alive:   make(map[int]bool, n-1),
+		ejected: make(map[int]error),
+	}
+	for i, l := range links {
+		m := &memberState{id: i + 1, link: l, accepted: make(map[int][]byte)}
+		if coord.TK != nil {
+			m.shareIdx = i + 2
+		}
+		s.members = append(s.members, m)
+		s.alive[m.id] = true
+	}
+	return s, nil
+}
+
+// Phase returns the session's current FSM phase.
+func (s *Session) Phase() Phase { return s.phase }
+
+// Quorum returns the effective quorum (coordinator included).
+func (s *Session) Quorum() int { return s.quorum }
+
+func (s *Session) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// roster returns the sorted ids of the members still alive.
+func (s *Session) roster() []int {
+	ids := make([]int, 0, len(s.alive))
+	for id := range s.alive {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// drop removes a member from the roster, recording why.
+func (s *Session) drop(id int, err error) {
+	if !s.alive[id] {
+		return
+	}
+	delete(s.alive, id)
+	s.ejected[id] = err
+	s.logf("group: member %d removed: %v", id, err)
+}
+
+// meterFrame charges one frame (header included) to the intra-group
+// channel.
+func (s *Session) meterFrame(payloadLen int) {
+	s.cfg.Meter.AddBytes(cost.IntraGroup, wire.FrameHeaderSize+payloadLen)
+}
+
+// outcome snapshots the terminal state.
+func (s *Session) outcome(res *core.Result, contributors []int, rounds int) *Outcome {
+	ej := make(map[int]error, len(s.ejected))
+	for id, err := range s.ejected {
+		ej[id] = err
+	}
+	return &Outcome{Result: res, Contributors: contributors, Ejected: ej, Rounds: rounds}
+}
+
+// Run executes the session: collect a quorum of contributions (looping
+// through re-partitions as the roster shrinks), query the LSP, decrypt —
+// jointly in threshold mode — and decode. The Outcome is returned even
+// on error, so callers can see who was ejected before the failure.
+func (s *Session) Run(ctx context.Context, svc core.Service) (*Outcome, error) {
+	if s.phase != PhaseInit {
+		return s.outcome(nil, nil, 0), fmt.Errorf("group: session already run (phase %s)", s.phase)
+	}
+	s.phase = PhaseCollect
+	plan, locs, contributors, err := s.collect(ctx)
+	if err != nil {
+		s.phase = PhaseFailed
+		return s.outcome(nil, nil, s.round), err
+	}
+	rounds := s.round
+
+	s.phase = PhaseQuery
+	qm, err := s.coord.BuildQuery(plan, s.cfg.Meter)
+	if err != nil {
+		s.phase = PhaseFailed
+		return s.outcome(nil, contributors, rounds), err
+	}
+	s.cfg.Meter.AddBytes(cost.UserToLSP, len(qm.Marshal()))
+	for _, lm := range locs {
+		s.cfg.Meter.AddBytes(cost.UserToLSP, len(lm.Marshal()))
+	}
+	ans, err := svc.Process(qm, locs)
+	if err != nil {
+		s.phase = PhaseFailed
+		return s.outcome(nil, contributors, rounds), err
+	}
+	s.cfg.Meter.AddBytes(cost.LSPToUser, len(ans.Marshal()))
+
+	s.phase = PhaseDecrypt
+	records, err := s.decrypt(ctx, ans)
+	if err != nil {
+		s.phase = PhaseFailed
+		return s.outcome(nil, contributors, rounds), err
+	}
+	// Coordinator broadcasts the plaintext answer to the other
+	// contributors, as in Group.DecryptAnswer.
+	recBytes := 8
+	if s.coord.Params.IncludeIDs {
+		recBytes = 16
+	}
+	s.cfg.Meter.AddBytes(cost.IntraGroup, (len(locs)-1)*(1+len(records)*recBytes))
+
+	s.phase = PhaseDone
+	return s.outcome(s.coord.Finish(records), contributors, rounds), nil
+}
+
+// collect runs contribution rounds until one completes with no failures,
+// re-partitioning for the survivors after every round that lost members.
+// Each round strictly shrinks the roster or succeeds, so the loop is
+// bounded by n − quorum + 1 rounds.
+func (s *Session) collect(ctx context.Context) (*core.RoundPlan, []*core.LocationMsg, []int, error) {
+	for {
+		roster := s.roster()
+		n := len(roster) + 1
+		if n < s.quorum {
+			return nil, nil, nil, &core.QuorumError{Phase: "contribute", Need: s.quorum, Have: n, Total: s.n}
+		}
+		plan, err := s.coord.Plan(n)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		round := s.round
+		s.round++
+		locs, failed, err := s.collectRound(ctx, plan, roster, round)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if len(failed) == 0 {
+			return plan, locs, append([]int{0}, roster...), nil
+		}
+		for id, ferr := range failed {
+			s.drop(id, ferr)
+		}
+		s.logf("group: round %d lost %d member(s), re-partitioning for %d", round, len(failed), len(s.alive)+1)
+	}
+}
+
+// collectRound fans one round's ContribRequests out to the roster and
+// waits for every member to succeed or fail within its bounded retry
+// budget. The moment enough failures arrive to make a quorum impossible,
+// the stragglers are cancelled and the round fails fast.
+func (s *Session) collectRound(ctx context.Context, plan *core.RoundPlan, roster []int, round int) ([]*core.LocationMsg, map[int]error, error) {
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type result struct {
+		slot int
+		id   int
+		lm   *core.LocationMsg
+		err  error
+	}
+	ch := make(chan result, len(roster))
+	for i, id := range roster {
+		slot := i + 1 // coordinator is slot 0
+		m := s.members[id-1]
+		req := plan.Request(s.coord.Params, s.id, round, slot)
+		go func() {
+			lm, err := s.collectOne(rctx, m, req)
+			ch <- result{slot: slot, id: m.id, lm: lm, err: err}
+		}()
+	}
+
+	n := len(roster) + 1
+	locs := make([]*core.LocationMsg, n)
+	locs[0] = s.coord.OwnContribution(plan)
+	failed := make(map[int]error)
+	for done := 0; done < len(roster); {
+		select {
+		case r := <-ch:
+			done++
+			if r.err == nil {
+				locs[r.slot] = r.lm
+				continue
+			}
+			failed[r.id] = r.err
+			if n-len(failed) < s.quorum {
+				// Quorum unreachable: cancel the stragglers and collect
+				// their verdicts so the outcome names everyone lost.
+				cancel()
+				for ; done < len(roster); done++ {
+					if r2 := <-ch; r2.err != nil {
+						failed[r2.id] = r2.err
+					}
+				}
+				for id, ferr := range failed {
+					s.drop(id, ferr)
+				}
+				return nil, nil, &core.QuorumError{Phase: "contribute", Need: s.quorum, Have: n - len(failed), Total: s.n}
+			}
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
+	}
+	return locs, failed, nil
+}
+
+// collectOne requests one member's contribution, validating the reply.
+func (s *Session) collectOne(ctx context.Context, m *memberState, req *core.ContribRequest) (*core.LocationMsg, error) {
+	v, err := s.call(ctx, m, req.Round, core.FrameContribReq, req.Marshal(),
+		func(typ byte, payload []byte) (any, verdict, error) {
+			switch typ {
+			case core.FrameContrib:
+				cm, err := core.UnmarshalContribution(payload)
+				if err != nil {
+					return nil, vEject, fmt.Errorf("undecodable contribution: %v", err)
+				}
+				if cm.Session != s.id {
+					return nil, vSkip, nil
+				}
+				if cm.Round != req.Round {
+					vd, verr := s.staleVerdict(m, cm.Round, payload)
+					return nil, vd, verr
+				}
+				if err := cm.Validate(req); err != nil {
+					return nil, vEject, err
+				}
+				return cm, vAccept, nil
+			case core.FrameError:
+				return nil, vEject, fmt.Errorf("member rejected contribution request: %s", payload)
+			case core.FramePartial:
+				return nil, vSkip, nil // stale frame from a decrypt phase
+			default:
+				return nil, vEject, fmt.Errorf("unexpected frame type %d", typ)
+			}
+		})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*core.ContributionMsg).LocationMsg(), nil
+}
+
+// staleVerdict classifies a reply for a past round: a byte-identical
+// resubmission is a benign replay (skipped); a differing one is
+// equivocation (ejected).
+func (s *Session) staleVerdict(m *memberState, round int, payload []byte) (verdict, error) {
+	if prev, ok := m.accepted[round]; ok && !bytes.Equal(prev, payload) {
+		return vEject, fmt.Errorf("equivocating resubmission for round %d", round)
+	}
+	return vSkip, nil
+}
+
+// decrypt recovers the answer records: directly in plain mode, via joint
+// partial-decryption rounds in threshold mode (two layers for OPT).
+func (s *Session) decrypt(ctx context.Context, ans *core.AnswerMsg) ([]encode.Record, error) {
+	if s.coord.TK == nil {
+		return s.coord.DecryptAnswer(ans, s.cfg.Meter)
+	}
+	if ans.Degree != s.coord.AnswerDegree() {
+		return nil, fmt.Errorf("group: answer degree %d, want %d", ans.Degree, s.coord.AnswerDegree())
+	}
+	cts := ans.Cts
+	for degree := ans.Degree; degree >= 1; degree-- {
+		ints, err := s.decryptLayer(ctx, degree, cts)
+		if err != nil {
+			return nil, err
+		}
+		cts = ints
+	}
+	return s.coord.DecodeInts(cts)
+}
+
+// decryptLayer runs one joint decryption round: the coordinator's own
+// shares plus the first T−1 valid member responses win; stragglers are
+// cancelled, invalid shares eject their member, and a roster that can no
+// longer field T share-holders fails fast.
+func (s *Session) decryptLayer(ctx context.Context, degree int, cts []*big.Int) ([]*big.Int, error) {
+	tk := s.coord.TK
+	round := s.round
+	s.round++
+
+	self, err := s.coord.PartialSelf(degree, cts)
+	if err != nil {
+		return nil, err
+	}
+	shares := map[int][]*big.Int{s.coord.Share.Index: self}
+
+	roster := s.roster()
+	if len(roster)+1 < tk.T {
+		return nil, &core.QuorumError{Phase: "decrypt", Need: tk.T, Have: len(roster) + 1, Total: s.n}
+	}
+	req := &core.PartialRequest{Session: s.id, Round: round, Degree: degree, KeyBytes: s.coord.KeyBytes(), Cts: cts}
+	reqB := req.Marshal()
+
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type result struct {
+		id  int
+		pm  *core.PartialMsg
+		err error
+	}
+	ch := make(chan result, len(roster))
+	for _, id := range roster {
+		m := s.members[id-1]
+		go func() {
+			pm, err := s.partialOne(pctx, m, req, reqB)
+			ch <- result{id: m.id, pm: pm, err: err}
+		}()
+	}
+
+	pending := len(roster)
+	for len(shares) < tk.T && pending > 0 {
+		select {
+		case r := <-ch:
+			pending--
+			if r.err != nil {
+				s.drop(r.id, r.err)
+				if len(shares)+pending < tk.T {
+					return nil, &core.QuorumError{Phase: "decrypt", Need: tk.T, Have: len(shares) + pending, Total: s.n}
+				}
+				continue
+			}
+			shares[r.pm.Index] = r.pm.Shares
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if len(shares) < tk.T {
+		return nil, &core.QuorumError{Phase: "decrypt", Need: tk.T, Have: len(shares), Total: s.n}
+	}
+	// Quorum reached: cancel() (deferred) releases the stragglers; their
+	// late errors land in the buffered channel and are discarded — being
+	// slow is not an offense worth the roster spot.
+	return s.coord.CombinePartials(degree, cts, shares, s.cfg.Meter)
+}
+
+// partialOne requests one member's decryption shares, validating them
+// against the request and the member's dealt share index.
+func (s *Session) partialOne(ctx context.Context, m *memberState, req *core.PartialRequest, reqB []byte) (*core.PartialMsg, error) {
+	v, err := s.call(ctx, m, req.Round, core.FramePartialReq, reqB,
+		func(typ byte, payload []byte) (any, verdict, error) {
+			switch typ {
+			case core.FramePartial:
+				pm, err := core.UnmarshalPartial(payload)
+				if err != nil {
+					return nil, vEject, fmt.Errorf("undecodable partial decryption: %v", err)
+				}
+				if pm.Session != s.id {
+					return nil, vSkip, nil
+				}
+				if pm.Round != req.Round {
+					vd, verr := s.staleVerdict(m, pm.Round, payload)
+					return nil, vd, verr
+				}
+				if err := pm.Validate(req, m.shareIdx, s.coord.TK); err != nil {
+					return nil, vEject, err
+				}
+				return pm, vAccept, nil
+			case core.FrameContrib:
+				cm, err := core.UnmarshalContribution(payload)
+				if err != nil {
+					return nil, vEject, fmt.Errorf("undecodable contribution: %v", err)
+				}
+				if cm.Session != s.id {
+					return nil, vSkip, nil
+				}
+				vd, verr := s.staleVerdict(m, cm.Round, payload)
+				return nil, vd, verr
+			case core.FrameError:
+				return nil, vEject, fmt.Errorf("member rejected partial-decryption request: %s", payload)
+			default:
+				return nil, vEject, fmt.Errorf("unexpected frame type %d", typ)
+			}
+		})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*core.PartialMsg), nil
+}
+
+// verdict is a classifier's decision about one received frame.
+type verdict int
+
+const (
+	vAccept verdict = iota // the awaited reply: accept and return
+	vSkip                  // stale or foreign: keep waiting
+	vEject                 // provably wrong: eject the member
+)
+
+// call runs one request/reply exchange with one member under the
+// per-member deadline and bounded retry/backoff. classify inspects each
+// received frame; stale frames are skipped without burning the attempt.
+// Ejections surface as core.ContributionError (never retried); exhausted
+// transient failures surface as the last marked-retryable error.
+func (s *Session) call(ctx context.Context, m *memberState, round int, reqType byte, req []byte,
+	classify func(typ byte, payload []byte) (any, verdict, error)) (any, error) {
+	var lastErr error
+	for attempt := 0; attempt <= s.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			if err := s.backoff(ctx, attempt); err != nil {
+				return nil, err
+			}
+			m.link.Reset()
+		}
+		actx, cancel := context.WithTimeout(ctx, s.cfg.MemberTimeout)
+		v, err := s.exchange(actx, m, round, reqType, req, classify)
+		cancel()
+		if err == nil {
+			return v, nil
+		}
+		if !core.IsRetryable(err) {
+			return nil, err
+		}
+		if ctx.Err() != nil {
+			return nil, core.Retryable(ctx.Err())
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("group: member %d unreachable after %d attempt(s): %w", m.id, s.cfg.Retries+1, lastErr)
+}
+
+// exchange is one attempt: send the request, then read frames until
+// classify accepts, ejects, or the attempt deadline kills the read.
+func (s *Session) exchange(ctx context.Context, m *memberState, round int, reqType byte, req []byte,
+	classify func(typ byte, payload []byte) (any, verdict, error)) (any, error) {
+	s.meterFrame(len(req))
+	if err := m.link.Send(ctx, reqType, req); err != nil {
+		return nil, err
+	}
+	for {
+		typ, payload, err := m.link.Recv(ctx)
+		if err != nil {
+			return nil, err
+		}
+		s.meterFrame(len(payload))
+		v, vd, cerr := classify(typ, payload)
+		switch vd {
+		case vAccept:
+			m.accepted[round] = append([]byte(nil), payload...)
+			return v, nil
+		case vSkip:
+			continue
+		default:
+			return nil, &core.ContributionError{Member: m.id, Reason: cerr.Error()}
+		}
+	}
+}
+
+// backoff sleeps the attempt's jittered exponential delay (the
+// transport.Pool schedule), or fails when the context expires first.
+func (s *Session) backoff(ctx context.Context, attempt int) error {
+	d := s.cfg.RetryBase << (attempt - 1)
+	if d > s.cfg.RetryMax || d <= 0 {
+		d = s.cfg.RetryMax
+	}
+	s.rngMu.Lock()
+	d = d/2 + time.Duration(s.rng.Int63n(int64(d/2)+1))
+	s.rngMu.Unlock()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return core.Retryable(ctx.Err())
+	case <-t.C:
+		return nil
+	}
+}

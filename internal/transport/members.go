@@ -1,0 +1,146 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ppgnn/internal/group"
+)
+
+// MemberServer exposes one group member over TCP: each accepted
+// connection runs the request/reply loop of group.ServeConn against the
+// member's Handler. It is the member-phone side of a distributed group
+// session — the coordinator dials it with a group.NetLink.
+//
+// The server shares the transport package's robustness posture: transient
+// accept failures are retried, a panic while serving one connection is
+// recovered and ends only that connection, and reads are bounded so a
+// dead coordinator cannot pin a goroutine forever.
+type MemberServer struct {
+	Handler group.Handler
+	// Logf, when set, receives connection-level diagnostics.
+	Logf func(format string, args ...interface{})
+	// ReadTimeout bounds the wait for each request frame (default 30s).
+	ReadTimeout time.Duration
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+}
+
+// NewMemberServer wraps a member handler.
+func NewMemberServer(h group.Handler) *MemberServer {
+	return &MemberServer{Handler: h, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen starts accepting on addr and returns the bound address.
+func (s *MemberServer) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: member listen: %w", err)
+	}
+	return s.Serve(ln), nil
+}
+
+// Serve starts accepting on an existing listener (tests wrap one in
+// faultnet) and returns its address.
+func (s *MemberServer) Serve(ln net.Listener) net.Addr {
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	go s.acceptLoop(ln)
+	return ln.Addr()
+}
+
+func (s *MemberServer) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			s.logf("member accept: %v (retrying)", err)
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *MemberServer) serveConn(conn net.Conn) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.logf("member conn %s: panic: %v", conn.RemoteAddr(), r)
+		}
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	err := group.ServeConn(timeoutConn{conn, s.readTimeout()}, s.Handler)
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		s.logf("member conn %s: %v", conn.RemoteAddr(), err)
+	}
+}
+
+func (s *MemberServer) readTimeout() time.Duration {
+	if s.ReadTimeout > 0 {
+		return s.ReadTimeout
+	}
+	return 30 * time.Second
+}
+
+func (s *MemberServer) logf(format string, args ...interface{}) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// Close stops the listener and closes every open connection. Members
+// hold no session-critical state a drain would protect — a coordinator
+// retry against a restarted member gets a byte-identical reply — so
+// unlike Server.Close this does not wait.
+func (s *MemberServer) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	return nil
+}
+
+// timeoutConn arms a fresh read deadline before every read, bounding the
+// per-frame wait of the member's serve loop.
+type timeoutConn struct {
+	net.Conn
+	d time.Duration
+}
+
+func (c timeoutConn) Read(p []byte) (int, error) {
+	if err := c.Conn.SetReadDeadline(time.Now().Add(c.d)); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}

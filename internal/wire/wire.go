@@ -90,6 +90,17 @@ func (w *Writer) FixedBigInt(v *big.Int, size int) {
 	v.FillBytes(w.buf[start:])
 }
 
+// FixedBigIntSlice appends a length-prefixed slice of big integers, each
+// zero-padded to exactly size bytes. Ciphertext and decryption-share
+// vectors use it so message sizes stay deterministic (the L_e cost
+// model).
+func (w *Writer) FixedBigIntSlice(vs []*big.Int, size int) {
+	w.Uvarint(uint64(len(vs)))
+	for _, v := range vs {
+		w.FixedBigInt(v, size)
+	}
+}
+
 // IntSlice appends a length-prefixed slice of uvarint-encoded ints.
 func (w *Writer) IntSlice(vs []int) {
 	w.Uvarint(uint64(len(vs)))
@@ -228,6 +239,26 @@ func (r *Reader) FixedBigInt(size int) *big.Int {
 	v := new(big.Int).SetBytes(r.buf[r.off : r.off+size])
 	r.off += size
 	return v
+}
+
+// FixedBigIntSlice reads a slice written by Writer.FixedBigIntSlice. The
+// declared element count is checked against the remaining payload before
+// any allocation, so a hostile length prefix cannot force a huge
+// allocation.
+func (r *Reader) FixedBigIntSlice(size int) []*big.Int {
+	n := r.Int()
+	if r.err != nil {
+		return nil
+	}
+	if size <= 0 || n*size > r.Remaining() {
+		r.fail(fmt.Errorf("wire: big.Int vector of %d × %d bytes exceeds payload", n, size))
+		return nil
+	}
+	out := make([]*big.Int, n)
+	for i := range out {
+		out[i] = r.FixedBigInt(size)
+	}
+	return out
 }
 
 // IntSlice reads a length-prefixed slice of uvarint ints.

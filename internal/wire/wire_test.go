@@ -213,3 +213,62 @@ func TestRoundTripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestFixedBigIntSliceRoundTrip(t *testing.T) {
+	vals := []*big.Int{big.NewInt(0), big.NewInt(255), big.NewInt(1 << 30)}
+	var w Writer
+	w.FixedBigIntSlice(vals, 8)
+	// Deterministic size: count prefix + n fixed-width elements.
+	if w.Len() != 1+3*8 {
+		t.Fatalf("encoded %d bytes, want %d", w.Len(), 1+3*8)
+	}
+	r := NewReader(w.Bytes())
+	got := r.FixedBigIntSlice(8)
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("got %d elements, want %d", len(got), len(vals))
+	}
+	for i := range vals {
+		if got[i].Cmp(vals[i]) != 0 {
+			t.Fatalf("element %d = %v, want %v", i, got[i], vals[i])
+		}
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("%d bytes left over", r.Remaining())
+	}
+
+	// Empty slice round-trips.
+	var w2 Writer
+	w2.FixedBigIntSlice(nil, 8)
+	r2 := NewReader(w2.Bytes())
+	if got := r2.FixedBigIntSlice(8); len(got) != 0 || r2.Err() != nil {
+		t.Fatalf("empty slice: %v, %v", got, r2.Err())
+	}
+}
+
+func TestFixedBigIntSliceHostileLength(t *testing.T) {
+	// A count prefix promising far more elements than the payload holds
+	// must fail before allocating.
+	var w Writer
+	w.Uvarint(1 << 30)
+	r := NewReader(w.Bytes())
+	if got := r.FixedBigIntSlice(16); got != nil || r.Err() == nil {
+		t.Fatalf("hostile length accepted: %v, err=%v", got, r.Err())
+	}
+
+	// Truncated mid-element.
+	var w2 Writer
+	w2.FixedBigIntSlice([]*big.Int{big.NewInt(1), big.NewInt(2)}, 8)
+	r2 := NewReader(w2.Bytes()[:10])
+	if got := r2.FixedBigIntSlice(8); got != nil || r2.Err() == nil {
+		t.Fatalf("truncated slice accepted: %v, err=%v", got, r2.Err())
+	}
+
+	// Nonsensical element width.
+	r3 := NewReader([]byte{3})
+	if got := r3.FixedBigIntSlice(0); got != nil || r3.Err() == nil {
+		t.Fatalf("zero width accepted: %v, err=%v", got, r3.Err())
+	}
+}

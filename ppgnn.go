@@ -44,6 +44,8 @@ import (
 	"ppgnn/internal/encode"
 	"ppgnn/internal/geo"
 	"ppgnn/internal/gnn"
+	"ppgnn/internal/group"
+	"ppgnn/internal/paillier"
 	"ppgnn/internal/rtree"
 	"ppgnn/internal/transport"
 )
@@ -184,3 +186,86 @@ func LoadDataset(r io.Reader) ([]POI, error) { return dataset.Load(r) }
 
 // LoadDatasetFile is LoadDataset over a path.
 func LoadDatasetFile(path string) ([]POI, error) { return dataset.LoadFile(path) }
+
+// Coordinator is the u_c side of a distributed group session: it holds
+// only its own location and key material, and collects the other members'
+// contributions over links (see GroupSession).
+type Coordinator = core.Coordinator
+
+// NewCoordinator builds a plain-mode coordinator for a roster of
+// p.N users (coordinator included); it alone can decrypt answers.
+func NewCoordinator(p Params, loc Point, rng *rand.Rand) (*Coordinator, error) {
+	return core.NewCoordinator(p, loc, rng)
+}
+
+// KeyShare is one user's share of a (t, n)-threshold key.
+type KeyShare = paillier.KeyShare
+
+// NewThresholdCoordinator builds a threshold-mode coordinator: the
+// returned shares belong to the members, in roster order (the coordinator
+// keeps the first share itself).
+func NewThresholdCoordinator(p Params, loc Point, rng *rand.Rand, t int) (*Coordinator, []*KeyShare, error) {
+	return core.NewThresholdCoordinator(p, loc, rng, t)
+}
+
+// GroupMember is the member side of a distributed group session: it
+// answers contribution requests (and, holding a key share, partial-
+// decryption requests) behind an in-process link or a MemberServer.
+type GroupMember = group.Member
+
+// NewGroupMember returns a member at loc; assign TK and Share for
+// threshold mode.
+func NewGroupMember(loc Point, rng *rand.Rand) *GroupMember {
+	return group.NewMember(loc, nil, rng)
+}
+
+// MemberLink is one coordinator↔member channel.
+type MemberLink = group.Link
+
+// InProcessMember links a member living in the same process.
+func InProcessMember(m *GroupMember) MemberLink { return group.NewProcLink(m) }
+
+// DialGroupMember links a member served by a MemberServer at addr.
+func DialGroupMember(addr string) MemberLink { return group.DialMember(addr) }
+
+// GroupSession runs one quorum group query: collect contributions from
+// the members (re-partitioning as dropouts shrink the roster), query the
+// LSP, and decrypt — jointly in threshold mode. Dropouts beyond n−t fail
+// fast with ErrQuorumLost; malformed or equivocating members are ejected
+// with ErrBadContribution. See DESIGN.md §8.
+type GroupSession = group.Session
+
+// SessionConfig tunes a GroupSession (quorum, per-member deadline,
+// retry/backoff schedule).
+type SessionConfig = group.Config
+
+// SessionOutcome reports how a session ended: result, contributors, and
+// every ejected member with its typed error.
+type SessionOutcome = group.Outcome
+
+// NewSession wires a coordinator to its member links; a session runs one
+// query.
+func NewSession(c *Coordinator, links []MemberLink, cfg SessionConfig) (*GroupSession, error) {
+	return group.NewSession(c, links, cfg)
+}
+
+// ErrQuorumLost reports that a group session lost so many members that
+// no quorum can complete it; match with errors.Is.
+var ErrQuorumLost = core.ErrQuorumLost
+
+// ErrBadContribution reports a malformed, duplicate, or equivocating
+// member contribution; match with errors.Is.
+var ErrBadContribution = core.ErrBadContribution
+
+// MemberServer exposes a GroupMember on a TCP address.
+type MemberServer = transport.MemberServer
+
+// ServeMember exposes a member on a TCP address; dial it with
+// DialGroupMember. Close it to stop serving.
+func ServeMember(m *GroupMember, addr string) (*MemberServer, error) {
+	srv := transport.NewMemberServer(m)
+	if _, err := srv.Listen(addr); err != nil {
+		return nil, err
+	}
+	return srv, nil
+}
