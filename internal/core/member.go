@@ -203,7 +203,9 @@ func UnmarshalPartialRequest(b []byte) (*PartialRequest, error) {
 	if p.Degree < 1 || p.Degree > paillier.MaxS {
 		return nil, fmt.Errorf("core: partial request degree %d out of range", p.Degree)
 	}
-	if p.KeyBytes < 1 {
+	// One ciphertext wider than a whole frame is nonsense; rejecting here
+	// also keeps (Degree+1)·KeyBytes far from integer-overflow territory.
+	if p.KeyBytes < 1 || (p.Degree+1)*p.KeyBytes > wire.MaxFrameSize {
 		return nil, fmt.Errorf("core: partial request key width %d", p.KeyBytes)
 	}
 	p.Cts = r.FixedBigIntSlice((p.Degree + 1) * p.KeyBytes)
@@ -252,7 +254,8 @@ func UnmarshalPartial(b []byte) (*PartialMsg, error) {
 	if p.Degree < 1 || p.Degree > paillier.MaxS {
 		return nil, fmt.Errorf("core: partial decryption degree %d out of range", p.Degree)
 	}
-	if p.KeyBytes < 1 {
+	// See UnmarshalPartialRequest: cap the element width before using it.
+	if p.KeyBytes < 1 || (p.Degree+1)*p.KeyBytes > wire.MaxFrameSize {
 		return nil, fmt.Errorf("core: partial decryption key width %d", p.KeyBytes)
 	}
 	p.Shares = r.FixedBigIntSlice((p.Degree + 1) * p.KeyBytes)

@@ -8,6 +8,7 @@ import (
 
 	"ppgnn/internal/geo"
 	"ppgnn/internal/paillier"
+	"ppgnn/internal/wire"
 )
 
 func testSpace() geo.Rect {
@@ -163,5 +164,27 @@ func TestPartialDecodersRejectHostileInput(t *testing.T) {
 	if _, err := UnmarshalPartial(bad.Marshal()); err == nil ||
 		!strings.Contains(err.Error(), "degree") {
 		t.Errorf("oversized degree: %v", err)
+	}
+	// Degree/KeyBytes/count chosen so count × (Degree+1)·KeyBytes wraps
+	// negative (2^30 × 2^33 = 2^63): a tiny frame must not buy a multi-GB
+	// allocation via integer overflow in the size arithmetic.
+	var w wire.Writer
+	w.Uvarint(1)       // session
+	w.Uvarint(0)       // round
+	w.Uvarint(7)       // degree → element width (7+1)·KeyBytes
+	w.Uvarint(1 << 30) // KeyBytes
+	w.Uvarint(1 << 30) // element count
+	if _, err := UnmarshalPartialRequest(w.Bytes()); err == nil {
+		t.Error("overflowing request geometry decoded")
+	}
+	var w2 wire.Writer
+	w2.Uvarint(1)       // session
+	w2.Uvarint(0)       // round
+	w2.Uvarint(2)       // share index
+	w2.Uvarint(7)       // degree
+	w2.Uvarint(1 << 30) // KeyBytes
+	w2.Uvarint(1 << 30) // element count
+	if _, err := UnmarshalPartial(w2.Bytes()); err == nil {
+		t.Error("overflowing partial geometry decoded")
 	}
 }

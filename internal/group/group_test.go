@@ -149,6 +149,34 @@ func TestSessionHappyPath(t *testing.T) {
 	}
 }
 
+// Re-running against the same long-lived members with the same seed (the
+// documented recovery path after ErrQuorumLost) must not collide with the
+// members' (session, round) reply caches: a seed-derived session id would
+// make them replay contributions built for the previous run's positions,
+// silently corrupting the answer.
+func TestSessionRerunSameSeedFreshID(t *testing.T) {
+	r := newRig(t, 4, core.VariantPPGNN, 0, 47)
+	var ids []uint64
+	for run := 0; run < 2; run++ {
+		s, err := NewSession(r.coord, r.links, Config{Seed: 5})
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		ids = append(ids, s.id)
+		out, err := s.Run(context.Background(), r.service(nil))
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if len(out.Ejected) != 0 {
+			t.Fatalf("run %d: ejected=%v, want none (honest members must not look equivocating)", run, out.Ejected)
+		}
+		checkOracle(t, r, out)
+	}
+	if ids[0] == ids[1] {
+		t.Fatalf("same-seed sessions share id %d — member caches would replay", ids[0])
+	}
+}
+
 func TestSessionSingleUse(t *testing.T) {
 	r := newRig(t, 4, core.VariantPPGNN, 0, 7)
 	s, err := NewSession(r.coord, r.links, Config{Seed: 1})

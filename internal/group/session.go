@@ -3,6 +3,8 @@ package group
 import (
 	"bytes"
 	"context"
+	crand "crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"math/big"
 	"math/rand"
@@ -41,8 +43,12 @@ type Config struct {
 	RetryBase time.Duration
 	// RetryMax caps the backoff delay.
 	RetryMax time.Duration
-	// Seed makes the session id and backoff jitter deterministic (0 =
-	// time-seeded).
+	// Seed makes the backoff jitter deterministic (0 = time-seeded). The
+	// session id is always drawn from fresh entropy: members cache their
+	// replies by (session, round), so a re-run after ErrQuorumLost under
+	// the same seed must not collide with the previous run's cache — the
+	// members would replay contributions built for the old run's
+	// positions, silently corrupting the answer.
 	Seed int64
 	// Meter, when set, receives the intra-group and LSP byte counts.
 	Meter *cost.Meter
@@ -166,7 +172,7 @@ func NewSession(coord *core.Coordinator, links []Link, cfg Config) (*Session, er
 	rng := rand.New(rand.NewSource(seed))
 	s := &Session{
 		coord: coord, cfg: cfg,
-		id: rng.Uint64(), n: n, quorum: q,
+		id: newSessionID(), n: n, quorum: q,
 		rng:     rng,
 		alive:   make(map[int]bool, n-1),
 		ejected: make(map[int]error),
@@ -180,6 +186,18 @@ func NewSession(coord *core.Coordinator, links []Link, cfg Config) (*Session, er
 		s.alive[m.id] = true
 	}
 	return s, nil
+}
+
+// newSessionID draws a session id from fresh entropy, never from
+// Config.Seed (see the Seed doc: a seed-derived id would make members
+// replay a previous same-seed run's cached replies). The time-seeded
+// fallback only runs if the OS entropy source is unreadable.
+func newSessionID() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return rand.New(rand.NewSource(time.Now().UnixNano())).Uint64()
+	}
+	return binary.BigEndian.Uint64(b[:])
 }
 
 // Phase returns the session's current FSM phase.
@@ -364,6 +382,12 @@ func (s *Session) collectRound(ctx context.Context, plan *core.RoundPlan, roster
 				return nil, nil, &core.QuorumError{Phase: "contribute", Need: s.quorum, Have: n - len(failed), Total: s.n}
 			}
 		case <-ctx.Done():
+			// Cancel and wait for the workers: none may outlive the round
+			// still holding its member's link and accepted map.
+			cancel()
+			for ; done < len(roster); done++ {
+				<-ch
+			}
 			return nil, nil, ctx.Err()
 		}
 	}
@@ -458,7 +482,6 @@ func (s *Session) decryptLayer(ctx context.Context, degree int, cts []*big.Int) 
 	reqB := req.Marshal()
 
 	pctx, cancel := context.WithCancel(ctx)
-	defer cancel()
 	type result struct {
 		id  int
 		pm  *core.PartialMsg
@@ -474,6 +497,18 @@ func (s *Session) decryptLayer(ctx context.Context, degree int, cts []*big.Int) 
 	}
 
 	pending := len(roster)
+	// Every exit must drain: a straggler goroutine left running would
+	// share its member's link and accepted map with the next layer's
+	// goroutine for the same member (OPT runs layers back to back),
+	// racing on both. Cancellation makes the workers exit promptly; their
+	// late errors are discarded — being slow is not an offense worth the
+	// roster spot.
+	defer func() {
+		cancel()
+		for ; pending > 0; pending-- {
+			<-ch
+		}
+	}()
 	for len(shares) < tk.T && pending > 0 {
 		select {
 		case r := <-ch:
@@ -493,9 +528,6 @@ func (s *Session) decryptLayer(ctx context.Context, degree int, cts []*big.Int) 
 	if len(shares) < tk.T {
 		return nil, &core.QuorumError{Phase: "decrypt", Need: tk.T, Have: len(shares), Total: s.n}
 	}
-	// Quorum reached: cancel() (deferred) releases the stragglers; their
-	// late errors land in the buffered channel and are discarded — being
-	// slow is not an offense worth the roster spot.
 	return s.coord.CombinePartials(degree, cts, shares, s.cfg.Meter)
 }
 

@@ -244,13 +244,15 @@ func (r *Reader) FixedBigInt(size int) *big.Int {
 // FixedBigIntSlice reads a slice written by Writer.FixedBigIntSlice. The
 // declared element count is checked against the remaining payload before
 // any allocation, so a hostile length prefix cannot force a huge
-// allocation.
+// allocation. The check divides rather than multiplies: n and size are
+// both attacker-influenced, and n*size can wrap negative and slip past a
+// product comparison.
 func (r *Reader) FixedBigIntSlice(size int) []*big.Int {
 	n := r.Int()
 	if r.err != nil {
 		return nil
 	}
-	if size <= 0 || n*size > r.Remaining() {
+	if size <= 0 || n > r.Remaining()/size {
 		r.fail(fmt.Errorf("wire: big.Int vector of %d × %d bytes exceeds payload", n, size))
 		return nil
 	}

@@ -271,4 +271,13 @@ func TestFixedBigIntSliceHostileLength(t *testing.T) {
 	if got := r3.FixedBigIntSlice(0); got != nil || r3.Err() == nil {
 		t.Fatalf("zero width accepted: %v, err=%v", got, r3.Err())
 	}
+
+	// Count × width chosen so the product wraps negative (2^30 × 2^33 =
+	// 2^63): the guard must not be bypassable by integer overflow.
+	var w4 Writer
+	w4.Uvarint(1 << 30)
+	r4 := NewReader(w4.Bytes())
+	if got := r4.FixedBigIntSlice(1 << 33); got != nil || r4.Err() == nil {
+		t.Fatalf("overflowing count×width accepted: %v, err=%v", got, r4.Err())
+	}
 }
