@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build vet test race bench-snapshot metrics-smoke clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-sensitive stack (includes the 64-goroutine registry
+# hammer in internal/obs).
+race:
+	$(GO) test -race ./internal/obs/... ./internal/group/... ./internal/transport/... ./internal/core/... ./internal/faultnet/... ./internal/wire/...
+
+# Seeded n=5 t=3 faultnet soak; writes per-phase p50/p95, retry/dropout
+# counters, and the Precomputer hit rate to BENCH_obs.json (DESIGN.md §9).
+bench-snapshot:
+	$(GO) run ./cmd/ppgnn-experiments -snapshot -keybits 256 -queries 6
+
+# Start the LSP with -metrics-addr, query it once, and check the metrics
+# endpoint serves a JSON snapshot (the CI smoke test).
+metrics-smoke:
+	./scripts/metrics-smoke.sh
+
+clean:
+	rm -f BENCH_obs.json

@@ -13,6 +13,11 @@
 //	-quick       endpoint-only sweeps with small defaults (smoke test)
 //	-dataset F   load a real point file instead of the Sequoia substitute
 //	-seed N      base RNG seed
+//	-snapshot    instead of the paper experiments, run the seeded n=5 t=3
+//	             faultnet soak and write its telemetry (per-phase p50/p95,
+//	             retry counters, Precomputer hit rate) to -snapshot-out
+//	-snapshot-out F  output file for -snapshot (default BENCH_obs.json)
+//	-latency D   faultnet latency injected on every soak link (default 5ms)
 //
 // Absolute timings differ from the paper's C++/GMP testbed; the shapes
 // (who wins, growth rates, crossovers) are the reproduction target. See
@@ -20,6 +25,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +42,9 @@ func main() {
 	quick := flag.Bool("quick", false, "endpoint-only sweeps (smoke test)")
 	datasetPath := flag.String("dataset", "", "optional point file (e.g. the real Sequoia data)")
 	seed := flag.Int64("seed", 42, "base RNG seed")
+	snapshot := flag.Bool("snapshot", false, "run the n=5 t=3 faultnet soak and write its telemetry JSON")
+	snapshotOut := flag.String("snapshot-out", "BENCH_obs.json", "output file for -snapshot")
+	latency := flag.Duration("latency", 5*time.Millisecond, "faultnet latency per soak link (-snapshot)")
 	flag.Parse()
 
 	cfg := experiments.Config{
@@ -50,6 +59,30 @@ func main() {
 			fatal(err)
 		}
 		cfg.Items = items
+	}
+
+	if *snapshot {
+		start := time.Now()
+		report, err := cfg.ObsSnapshot(*latency)
+		if err != nil {
+			fatal(err)
+		}
+		b, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*snapshotOut, append(b, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("obs soak: %d/%d queries ok in %v (latency %v), report in %s\n",
+			report.OK, report.Queries, time.Since(start).Round(time.Millisecond), *latency, *snapshotOut)
+		for _, h := range report.Phases {
+			fmt.Printf("  phase %-9s outcome %-8s n=%-4d p50=%8.4fs p95=%8.4fs\n",
+				h.Labels["phase"], h.Labels["outcome"], h.Count, h.P50, h.P95)
+		}
+		fmt.Printf("  precompute pool hit rate %.2f, transport retries %d, dropouts %d\n",
+			report.PoolHitRate, report.Retries, report.Dropouts)
+		return
 	}
 
 	type job struct {

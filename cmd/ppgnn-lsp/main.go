@@ -15,6 +15,9 @@
 //	-max-locations N  location frames accepted per session (default 4096)
 //	-read-timeout D   per-frame read deadline within a session (default 30s)
 //	-drain-timeout D  grace for in-flight sessions on shutdown (default 10s)
+//	-metrics-addr A   serve the JSON metrics snapshot and pprof on A
+//	                  (e.g. 127.0.0.1:9043; default off). The snapshot is
+//	                  privacy-safe by construction: DESIGN.md §9.
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"time"
 
 	"ppgnn"
+	"ppgnn/internal/obs"
 	"ppgnn/internal/transport"
 )
 
@@ -40,6 +44,7 @@ func main() {
 	maxLocations := flag.Int("max-locations", transport.DefaultMaxLocations, "location frames accepted per session")
 	readTimeout := flag.Duration("read-timeout", 30*time.Second, "per-frame read deadline within a session")
 	drainTimeout := flag.Duration("drain-timeout", transport.DefaultDrainTimeout, "grace for in-flight sessions on shutdown")
+	metricsAddr := flag.String("metrics-addr", "", "serve JSON metrics snapshot and pprof on this address (default off)")
 	flag.Parse()
 
 	var pois []ppgnn.POI
@@ -63,6 +68,14 @@ func main() {
 	srv.DrainTimeout = *drainTimeout
 	if !*quiet {
 		srv.Logf = log.Printf
+	}
+	if *metricsAddr != "" {
+		maddr, stop, err := obs.Serve(*metricsAddr, obs.Default())
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
+		log.Printf("ppgnn-lsp: metrics on http://%s/metrics (pprof under /debug/pprof/)", maddr)
 	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {

@@ -28,10 +28,14 @@
 //	-member-timeout D  per-member exchange deadline for -quorum-t
 //	-ids         include POI database IDs in the answer
 //	-v           print cost accounting
+//	-metrics-addr A  serve the JSON metrics snapshot and pprof on A for
+//	                 the process lifetime (default off); with -v the
+//	                 snapshot is also printed to stderr after the query
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -41,6 +45,7 @@ import (
 	"time"
 
 	"ppgnn"
+	"ppgnn/internal/obs"
 )
 
 func main() {
@@ -63,7 +68,17 @@ func main() {
 	threshold := flag.Int("threshold", 0, "require t-of-n users for decryption (0 = coordinator key)")
 	quorumT := flag.Int("quorum-t", 0, "complete with any t-of-n users via a quorum group session (0 = require all)")
 	memberTimeout := flag.Duration("member-timeout", 5*time.Second, "per-member exchange deadline for -quorum-t")
+	metricsAddr := flag.String("metrics-addr", "", "serve JSON metrics snapshot and pprof on this address (default off)")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		maddr, stop, err := obs.Serve(*metricsAddr, obs.Default())
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics (pprof under /debug/pprof/)\n", maddr)
+	}
 
 	locs, err := parseLocations(flag.Args())
 	if err != nil {
@@ -207,6 +222,9 @@ func main() {
 		fmt.Printf("total wall time: %v\n", elapsed.Round(time.Millisecond))
 		fmt.Printf("costs: %v\n", meter.Snapshot())
 		fmt.Printf("one-time keygen: %v\n", keygen.Round(time.Millisecond))
+		if b, err := json.MarshalIndent(obs.Default().Snapshot(), "", "  "); err == nil {
+			fmt.Fprintf(os.Stderr, "metrics: %s\n", b)
+		}
 	}
 }
 

@@ -38,6 +38,11 @@ type Coordinator struct {
 	Share *paillier.KeyShare
 
 	KeygenTime time.Duration
+
+	// Offline encryption-randomness pools (see Precompute). They hold
+	// r^{N^s} factors for the shared public key, so they work in both
+	// plain and threshold mode.
+	pre1, pre2 *paillier.Precomputer
 }
 
 // NewCoordinator builds a plain-mode coordinator: it alone can decrypt,
@@ -204,6 +209,36 @@ func (c *Coordinator) KeyBytes() int {
 	return (c.encPublic().N.BitLen() + 7) / 8
 }
 
+// Precompute fills the coordinator's encryption-randomness pools, as
+// Group.Precompute does for the all-in-one-process model: the r^{N^s}
+// factors depend only on the public key, so BuildQuery's indicator
+// encryptions then pay only the cheap plaintext-dependent part online.
+// The pools drain one factor per ciphertext; call again before later
+// queries. It returns the offline time spent.
+func (c *Coordinator) Precompute(count int) (time.Duration, error) {
+	start := time.Now()
+	var err error
+	if c.pre1 == nil {
+		if c.pre1, err = c.encPublic().NewPrecomputer(1); err != nil {
+			return 0, err
+		}
+	}
+	if err := c.pre1.Fill(nil, count); err != nil {
+		return 0, err
+	}
+	if c.Params.Variant == VariantOPT {
+		if c.pre2 == nil {
+			if c.pre2, err = c.encPublic().NewPrecomputer(2); err != nil {
+				return 0, err
+			}
+		}
+		if err := c.pre2.Fill(nil, count); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start), nil
+}
+
 // BuildQuery builds the QueryMsg for a round plan (lines 9–10 of
 // Algorithm 1): the encrypted indicator vector(s) at the plan's query
 // index. Location sets are NOT included — they arrive from the members.
@@ -221,22 +256,22 @@ func (c *Coordinator) BuildQuery(pl *RoundPlan, meter *cost.Meter) (*QueryMsg, e
 	var err error
 	switch p.Variant {
 	case VariantNaive:
-		msg.V, err = encryptIndicatorVec(c.encPublic(), nil, p.Delta, pl.naive, 1, meter)
+		msg.V, err = encryptIndicatorVec(c.encPublic(), c.pre1, p.Delta, pl.naive, 1, meter)
 		return msg, err
 	case VariantPPGNN:
 		msg.NBar, msg.DBar = pl.part.NBar, pl.part.DBar
 		qi := pl.part.QueryIndex(pl.seg, pl.xs)
-		msg.V, err = encryptIndicatorVec(c.encPublic(), nil, pl.part.DeltaPrime, qi, 1, meter)
+		msg.V, err = encryptIndicatorVec(c.encPublic(), c.pre1, pl.part.DeltaPrime, qi, 1, meter)
 		return msg, err
 	case VariantOPT:
 		msg.NBar, msg.DBar = pl.part.NBar, pl.part.DBar
 		qi := pl.part.QueryIndex(pl.seg, pl.xs)
 		omega := OptimalOmega(pl.part.DeltaPrime)
 		cols := (pl.part.DeltaPrime + omega - 1) / omega
-		if msg.V1, err = encryptIndicatorVec(c.encPublic(), nil, cols, qi%cols, 1, meter); err != nil {
+		if msg.V1, err = encryptIndicatorVec(c.encPublic(), c.pre1, cols, qi%cols, 1, meter); err != nil {
 			return nil, err
 		}
-		msg.V2, err = encryptIndicatorVec(c.encPublic(), nil, omega, qi/cols, 2, meter)
+		msg.V2, err = encryptIndicatorVec(c.encPublic(), c.pre2, omega, qi/cols, 2, meter)
 		return msg, err
 	}
 	return nil, fmt.Errorf("core: unknown variant %d", p.Variant)

@@ -15,6 +15,7 @@ import (
 	"ppgnn/internal/core"
 	"ppgnn/internal/cost"
 	"ppgnn/internal/encode"
+	"ppgnn/internal/obs"
 	"ppgnn/internal/wire"
 )
 
@@ -54,6 +55,9 @@ type Config struct {
 	Meter *cost.Meter
 	// Logf, when set, receives roster-change progress lines.
 	Logf func(format string, args ...any)
+	// Obs receives the session's telemetry (nil = obs.Default). See
+	// DESIGN.md §9 for the metric catalog.
+	Obs *obs.Registry
 }
 
 // Phase is a session's position in its lifecycle FSM (DESIGN.md §8).
@@ -126,6 +130,12 @@ type Session struct {
 
 	alive   map[int]bool
 	ejected map[int]error
+
+	reg *obs.Registry
+	// curSpan is the span for the phase currently fanning out member
+	// exchanges; workers call AddRetry on it. It is written only between
+	// phases, after every worker of the previous phase has been joined.
+	curSpan *obs.Span
 }
 
 // NewSession wires a coordinator to its member links. links[i] reaches
@@ -170,12 +180,17 @@ func NewSession(coord *core.Coordinator, links []Link, cfg Config) (*Session, er
 		seed = time.Now().UnixNano()
 	}
 	rng := rand.New(rand.NewSource(seed))
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.Default()
+	}
 	s := &Session{
 		coord: coord, cfg: cfg,
 		id: newSessionID(), n: n, quorum: q,
 		rng:     rng,
 		alive:   make(map[int]bool, n-1),
 		ejected: make(map[int]error),
+		reg:     reg,
 	}
 	for i, l := range links {
 		m := &memberState{id: i + 1, link: l, accepted: make(map[int][]byte)}
@@ -229,6 +244,7 @@ func (s *Session) drop(id int, err error) {
 	}
 	delete(s.alive, id)
 	s.ejected[id] = err
+	s.reg.Counter("group_dropouts_total", obs.L("cause", dropCause(err))).Inc()
 	s.logf("group: member %d removed: %v", id, err)
 }
 
@@ -251,12 +267,19 @@ func (s *Session) outcome(res *core.Result, contributors []int, rounds int) *Out
 // through re-partitions as the roster shrinks), query the LSP, decrypt —
 // jointly in threshold mode — and decode. The Outcome is returned even
 // on error, so callers can see who was ejected before the failure.
-func (s *Session) Run(ctx context.Context, svc core.Service) (*Outcome, error) {
+func (s *Session) Run(ctx context.Context, svc core.Service) (out *Outcome, err error) {
 	if s.phase != PhaseInit {
 		return s.outcome(nil, nil, 0), fmt.Errorf("group: session already run (phase %s)", s.phase)
 	}
+	sess := s.reg.StartSpan("session")
+	defer func() { sess.End(groupOutcome(err)) }()
+
 	s.phase = PhaseCollect
+	sp := s.reg.StartSpan("collect")
+	s.curSpan = sp
 	plan, locs, contributors, err := s.collect(ctx)
+	s.curSpan = nil
+	sp.End(groupOutcome(err))
 	if err != nil {
 		s.phase = PhaseFailed
 		return s.outcome(nil, nil, s.round), err
@@ -264,8 +287,10 @@ func (s *Session) Run(ctx context.Context, svc core.Service) (*Outcome, error) {
 	rounds := s.round
 
 	s.phase = PhaseQuery
+	qsp := s.reg.StartSpan("query")
 	qm, err := s.coord.BuildQuery(plan, s.cfg.Meter)
 	if err != nil {
+		qsp.End(groupOutcome(err))
 		s.phase = PhaseFailed
 		return s.outcome(nil, contributors, rounds), err
 	}
@@ -273,15 +298,21 @@ func (s *Session) Run(ctx context.Context, svc core.Service) (*Outcome, error) {
 	for _, lm := range locs {
 		s.cfg.Meter.AddBytes(cost.UserToLSP, len(lm.Marshal()))
 	}
-	ans, err := svc.Process(qm, locs)
-	if err != nil {
+	ans, perr := svc.Process(qm, locs)
+	qsp.End(groupOutcome(perr))
+	if perr != nil {
 		s.phase = PhaseFailed
+		err = perr
 		return s.outcome(nil, contributors, rounds), err
 	}
 	s.cfg.Meter.AddBytes(cost.LSPToUser, len(ans.Marshal()))
 
 	s.phase = PhaseDecrypt
+	dsp := s.reg.StartSpan("decrypt")
+	s.curSpan = dsp
 	records, err := s.decrypt(ctx, ans)
+	s.curSpan = nil
+	dsp.End(groupOutcome(err))
 	if err != nil {
 		s.phase = PhaseFailed
 		return s.outcome(nil, contributors, rounds), err
@@ -307,9 +338,11 @@ func (s *Session) collect(ctx context.Context) (*core.RoundPlan, []*core.Locatio
 		roster := s.roster()
 		n := len(roster) + 1
 		if n < s.quorum {
-			return nil, nil, nil, &core.QuorumError{Phase: "contribute", Need: s.quorum, Have: n, Total: s.n}
+			return nil, nil, nil, s.quorumLost("contribute", s.quorum, n)
 		}
+		psp := s.reg.StartSpan("partition")
 		plan, err := s.coord.Plan(n)
+		psp.EndErr(err)
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -325,6 +358,7 @@ func (s *Session) collect(ctx context.Context) (*core.RoundPlan, []*core.Locatio
 		for id, ferr := range failed {
 			s.drop(id, ferr)
 		}
+		s.reg.Counter("group_repartitions_total").Inc()
 		s.logf("group: round %d lost %d member(s), re-partitioning for %d", round, len(failed), len(s.alive)+1)
 	}
 }
@@ -334,6 +368,7 @@ func (s *Session) collect(ctx context.Context) (*core.RoundPlan, []*core.Locatio
 // budget. The moment enough failures arrive to make a quorum impossible,
 // the stragglers are cancelled and the round fails fast.
 func (s *Session) collectRound(ctx context.Context, plan *core.RoundPlan, roster []int, round int) ([]*core.LocationMsg, map[int]error, error) {
+	defer s.countRound("collect", time.Now())
 	rctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -379,7 +414,7 @@ func (s *Session) collectRound(ctx context.Context, plan *core.RoundPlan, roster
 				for id, ferr := range failed {
 					s.drop(id, ferr)
 				}
-				return nil, nil, &core.QuorumError{Phase: "contribute", Need: s.quorum, Have: n - len(failed), Total: s.n}
+				return nil, nil, s.quorumLost("contribute", s.quorum, n-len(failed))
 			}
 		case <-ctx.Done():
 			// Cancel and wait for the workers: none may outlive the round
@@ -434,6 +469,7 @@ func (s *Session) collectOne(ctx context.Context, m *memberState, req *core.Cont
 // equivocation (ejected).
 func (s *Session) staleVerdict(m *memberState, round int, payload []byte) (verdict, error) {
 	if prev, ok := m.accepted[round]; ok && !bytes.Equal(prev, payload) {
+		s.reg.Counter("group_equivocations_total").Inc()
 		return vEject, fmt.Errorf("equivocating resubmission for round %d", round)
 	}
 	return vSkip, nil
@@ -464,6 +500,7 @@ func (s *Session) decrypt(ctx context.Context, ans *core.AnswerMsg) ([]encode.Re
 // cancelled, invalid shares eject their member, and a roster that can no
 // longer field T share-holders fails fast.
 func (s *Session) decryptLayer(ctx context.Context, degree int, cts []*big.Int) ([]*big.Int, error) {
+	defer s.countRound("decrypt", time.Now())
 	tk := s.coord.TK
 	round := s.round
 	s.round++
@@ -476,7 +513,7 @@ func (s *Session) decryptLayer(ctx context.Context, degree int, cts []*big.Int) 
 
 	roster := s.roster()
 	if len(roster)+1 < tk.T {
-		return nil, &core.QuorumError{Phase: "decrypt", Need: tk.T, Have: len(roster) + 1, Total: s.n}
+		return nil, s.quorumLost("decrypt", tk.T, len(roster)+1)
 	}
 	req := &core.PartialRequest{Session: s.id, Round: round, Degree: degree, KeyBytes: s.coord.KeyBytes(), Cts: cts}
 	reqB := req.Marshal()
@@ -504,6 +541,9 @@ func (s *Session) decryptLayer(ctx context.Context, degree int, cts []*big.Int) 
 	// late errors are discarded — being slow is not an offense worth the
 	// roster spot.
 	defer func() {
+		// Workers still pending here were cancelled as stragglers: the
+		// layer already had its T shares (or failed for other reasons).
+		s.reg.Counter("group_stragglers_total").Add(int64(pending))
 		cancel()
 		for ; pending > 0; pending-- {
 			<-ch
@@ -516,7 +556,7 @@ func (s *Session) decryptLayer(ctx context.Context, degree int, cts []*big.Int) 
 			if r.err != nil {
 				s.drop(r.id, r.err)
 				if len(shares)+pending < tk.T {
-					return nil, &core.QuorumError{Phase: "decrypt", Need: tk.T, Have: len(shares) + pending, Total: s.n}
+					return nil, s.quorumLost("decrypt", tk.T, len(shares)+pending)
 				}
 				continue
 			}
@@ -526,7 +566,7 @@ func (s *Session) decryptLayer(ctx context.Context, degree int, cts []*big.Int) 
 		}
 	}
 	if len(shares) < tk.T {
-		return nil, &core.QuorumError{Phase: "decrypt", Need: tk.T, Have: len(shares), Total: s.n}
+		return nil, s.quorumLost("decrypt", tk.T, len(shares))
 	}
 	return s.coord.CombinePartials(degree, cts, shares, s.cfg.Meter)
 }
@@ -594,6 +634,7 @@ func (s *Session) call(ctx context.Context, m *memberState, round int, reqType b
 	var lastErr error
 	for attempt := 0; attempt <= s.cfg.Retries; attempt++ {
 		if attempt > 0 {
+			s.curSpan.AddRetry()
 			if err := s.backoff(ctx, attempt); err != nil {
 				return nil, err
 			}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"os"
+)
+
+// This file is the privacy contract's single source of truth: the closed
+// set of label keys the registry accepts, and for each key the closed
+// enum of values. Instrumentation anywhere in the stack can only attach
+// labels that pass ClampLabel, so a metric label can never carry a
+// coordinate, a ciphertext, a session id, or any other per-query datum —
+// the worst an out-of-enum value becomes is the literal "other".
+// TestPrivacyContract in privacy_test.go walks a live registry against
+// these tables; DESIGN.md §9 documents the catalog.
+
+// OtherValue replaces any label value outside its key's enum.
+const OtherValue = "other"
+
+// labelEnums maps each allowed label key to its closed value enum.
+// Adding a key or value here is a reviewed code change — exactly the
+// point: telemetry vocabulary grows by diff, never at runtime.
+var labelEnums = map[string]map[string]bool{
+	// phase: the protocol phases of Algorithm 1 as observed at runtime
+	// (DESIGN.md §9 span taxonomy), plus "session" for the whole query.
+	"phase": enum(
+		"session",   // one full group query, end to end
+		"collect",   // contribution collection (may span re-partitions)
+		"partition", // partition-parameter solve for the current roster
+		"query",     // encrypted query build + LSP round trip
+		"lsp",       // server-side LSP evaluation (Algorithm 2)
+		"decrypt",   // answer decryption (joint in threshold mode)
+	),
+	// outcome: how a phase or session ended.
+	"outcome": enum(
+		"ok", "error", "timeout", "canceled",
+		"quorum_lost", "bad_contribution", "remote", "panic", "drain", "busy",
+	),
+	// cause: why a retry, dropout, or shed happened.
+	"cause": enum(
+		"dial", "reset", "timeout", "eof", "busy", "draining",
+		"equivocation", "bad_contribution", "quorum_lost",
+		"canceled", "panic", "remote", OtherValue,
+	),
+	// op: paillier operation names.
+	"op": enum(
+		"enc", "dec", "add", "mul_plain", "dot", "mat_select",
+		"rerandomize", "partial_dec", "combine",
+	),
+	// path: which decryption implementation ran.
+	"path": enum("crt", "threshold"),
+	// source: where encryption randomness came from.
+	"source": enum("pool", "online"),
+	// degree: paillier ciphertext degree ε_s; the protocol uses 1 and 2.
+	"degree": enum("1", "2", OtherValue),
+	// dir: frame direction relative to the instrumented endpoint.
+	"dir": enum("rx", "tx"),
+	// kind: which round family a group-session round belongs to.
+	"kind": enum("collect", "decrypt"),
+}
+
+func enum(vs ...string) map[string]bool {
+	m := make(map[string]bool, len(vs))
+	for _, v := range vs {
+		m[v] = true
+	}
+	return m
+}
+
+// ClampLabel forces a label value into its key's closed enum: in-enum
+// values pass through, anything else becomes OtherValue. An unregistered
+// key panics — keys are code literals, so that is a bug, not data.
+func ClampLabel(key, value string) string {
+	vals, ok := labelEnums[key]
+	if !ok {
+		panic("obs: label key " + key + " is not in the privacy contract")
+	}
+	if vals[value] {
+		return value
+	}
+	return OtherValue
+}
+
+// LabelKeys returns the allowed label keys (for the contract test).
+func LabelKeys() []string {
+	out := make([]string, 0, len(labelEnums))
+	for k := range labelEnums {
+		out = append(out, k)
+	}
+	return out
+}
+
+// AllowedValues reports whether value is in key's enum (for the contract
+// test; unknown keys are simply not allowed). OtherValue is implicitly in
+// every enum — it is what ClampLabel degrades unknown values to.
+func AllowedValues(key, value string) bool {
+	vals, ok := labelEnums[key]
+	return ok && (vals[value] || value == OtherValue)
+}
+
+// Cause classifies an error into the closed "cause" enum using only
+// stdlib error taxonomy. Packages with richer taxonomies (core's
+// RemoteError, QuorumError, ContributionError) map those themselves and
+// fall back to this for plain network errors. Cause never returns the
+// error text: the enum is the entire vocabulary.
+func Cause(err error) string {
+	switch {
+	case err == nil:
+		return OtherValue
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, os.ErrDeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF):
+		return "eof"
+	case errors.Is(err, net.ErrClosed) || errors.Is(err, io.ErrClosedPipe):
+		return "reset"
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return "timeout"
+	}
+	var oe *net.OpError
+	if errors.As(err, &oe) {
+		if oe.Op == "dial" {
+			return "dial"
+		}
+		return "reset"
+	}
+	return OtherValue
+}
+
+// Outcome maps an error to the closed "outcome" enum: nil is "ok",
+// deadline and cancellation are distinguished, everything else is
+// "error". Packages with richer taxonomies refine before falling back.
+func Outcome(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, os.ErrDeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	default:
+		return "error"
+	}
+}

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler serves the registry as a JSON snapshot (Snapshot's schema).
+// GET only; the endpoint is read-only introspection.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "metrics endpoint is read-only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Snapshot())
+	})
+}
+
+// NewMux builds the introspection mux: /metrics (JSON snapshot) and the
+// standard net/http/pprof handlers under /debug/pprof/. Only aggregate
+// telemetry and runtime profiles are exposed — the privacy contract keeps
+// query data out of the former, and the latter never held any.
+func NewMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the introspection endpoint on addr (":0" picks a free
+// port) and returns the bound address and a shutdown func. The server
+// runs until the shutdown func is called; serving errors after shutdown
+// are ignored.
+func Serve(addr string, r *Registry) (net.Addr, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: NewMux(r), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return ln.Addr(), srv.Close, nil
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/json"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// walkSnapshot applies fn to every (name, labels) pair in a snapshot.
+func walkSnapshot(s *Snapshot, fn func(name string, labels map[string]string)) {
+	for _, c := range s.Counters {
+		fn(c.Name, c.Labels)
+	}
+	for _, g := range s.Gauges {
+		fn(g.Name, g.Labels)
+	}
+	for _, h := range s.Histograms {
+		fn(h.Name, h.Labels)
+	}
+}
+
+// assertPrivacySafe is the redaction contract of DESIGN.md §9 as code:
+// names match the closed charset, label keys are registered, label values
+// sit inside their key's closed enum. Anything dynamic — a coordinate, a
+// ciphertext hex string, a session id — fails at least one of the three.
+// internal/integration reuses the same walk against the live Default
+// registry after a full soak run (TestMetricsEndpointSoak).
+func assertPrivacySafe(t *testing.T, s *Snapshot) {
+	t.Helper()
+	nameOK := regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+	keys := make(map[string]bool)
+	for _, k := range LabelKeys() {
+		keys[k] = true
+	}
+	walkSnapshot(s, func(name string, labels map[string]string) {
+		if !nameOK.MatchString(name) {
+			t.Errorf("metric name %q violates the naming contract", name)
+		}
+		for k, v := range labels {
+			if !keys[k] {
+				t.Errorf("metric %q uses unregistered label key %q", name, k)
+				continue
+			}
+			if !AllowedValues(k, v) {
+				t.Errorf("metric %q label %s=%q is outside the closed enum", name, k, v)
+			}
+		}
+	})
+}
+
+// TestPrivacyContract exercises the registry the way the whole stack does
+// — spans, counters with error-derived causes, histograms — then tries
+// actively hostile label values, and proves the resulting snapshot (the
+// exact bytes -metrics-addr serves) contains nothing but catalog names
+// and closed-enum labels.
+func TestPrivacyContract(t *testing.T) {
+	r := NewRegistry()
+
+	// Legitimate instrumentation.
+	r.Counter("transport_retries_total", L("cause", "dial")).Inc()
+	r.Gauge("transport_inflight").Set(3)
+	r.Histogram("transport_frame_bytes", SizeBuckets, L("dir", "rx")).Observe(512)
+	sp := r.StartSpan("decrypt")
+	sp.End("quorum_lost")
+
+	// Hostile label values: coordinates, a ciphertext-looking blob, a
+	// session id, an error string with an address in it. All must clamp.
+	hostile := []string{
+		"48.858844,2.294351",
+		"0x8f3aa91bc4",
+		"session=11400714819323198485",
+		"dial tcp 10.1.2.3:9042: connection refused",
+	}
+	for _, v := range hostile {
+		r.Counter("group_dropouts_total", L("cause", v)).Inc()
+		r.Histogram("group_round_seconds", nil, L("kind", v)).Observe(0.1)
+	}
+
+	s := r.Snapshot()
+	assertPrivacySafe(t, s)
+
+	// The hostile strings must not appear anywhere in the serialized
+	// snapshot — not as names, labels, or values.
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range hostile {
+		if strings.Contains(string(raw), v) {
+			t.Fatalf("hostile value %q leaked into the snapshot", v)
+		}
+	}
+	// And the clamped series exist, so the events were still counted.
+	if got := s.Counter("group_dropouts_total", L("cause", OtherValue)); got != int64(len(hostile)) {
+		t.Fatalf("clamped dropouts = %d, want %d", got, len(hostile))
+	}
+}
+
+// TestUnregisteredLabelKeyPanics pins the "keys are code literals" rule.
+func TestUnregisteredLabelKeyPanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unregistered label key must panic")
+		}
+	}()
+	r.Counter("test_total", L("user_location", "0.5,0.5"))
+}
+
+// TestContractEnumsAreClosed spot-checks that the enums hold no value
+// that itself looks like dynamic data (digits-heavy, separators).
+func TestContractEnumsAreClosed(t *testing.T) {
+	suspicious := regexp.MustCompile(`[0-9]{3,}|[,:;=/]| `)
+	for _, k := range LabelKeys() {
+		for _, v := range enumValues(k) {
+			if suspicious.MatchString(v) {
+				t.Errorf("enum %s contains suspicious value %q", k, v)
+			}
+		}
+	}
+}
+
+func enumValues(key string) []string {
+	var out []string
+	for v := range labelEnums[key] {
+		out = append(out, v)
+	}
+	return out
+}

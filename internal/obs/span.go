@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Span metric names. One histogram and two counters describe every phase
+// of every query; the closed "phase" and "outcome" enums are the only
+// labels, so span telemetry aggregates across sessions by construction —
+// there is deliberately no per-session series to correlate.
+const (
+	phaseSecondsName = "ppgnn_phase_seconds"
+	phaseTotalName   = "ppgnn_phase_total"
+	phaseRetriesName = "ppgnn_phase_retries_total"
+)
+
+// Span measures one protocol phase of one query: wall time from StartSpan
+// to End, a retry count, and an outcome label. Spans are cheap (one
+// time.Now at each end) and safe to use from multiple goroutines
+// (AddRetry is atomic; End is idempotent and returns the duration).
+type Span struct {
+	reg     *Registry
+	phase   string
+	start   time.Time
+	retries atomic.Int64
+	ended   atomic.Bool
+}
+
+// StartSpan begins timing one phase. The phase string is clamped to the
+// closed "phase" enum, so a caller cannot accidentally mint a per-query
+// series.
+func (r *Registry) StartSpan(phase string) *Span {
+	return &Span{reg: r, phase: ClampLabel("phase", phase), start: time.Now()}
+}
+
+// AddRetry notes one retried exchange inside the phase.
+func (s *Span) AddRetry() {
+	if s == nil {
+		return
+	}
+	s.retries.Add(1)
+}
+
+// End stops the span and records it under the given outcome (clamped to
+// the closed "outcome" enum). A second End is a no-op returning the same
+// measurement basis (time since start). It returns the wall time so
+// callers can reuse the measurement.
+func (s *Span) End(outcome string) time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	if !s.ended.CompareAndSwap(false, true) {
+		return d
+	}
+	outcome = ClampLabel("outcome", outcome)
+	ph := L("phase", s.phase)
+	s.reg.Histogram(phaseSecondsName, TimeBuckets, ph, L("outcome", outcome)).Observe(d.Seconds())
+	s.reg.Counter(phaseTotalName, ph, L("outcome", outcome)).Inc()
+	if n := s.retries.Load(); n > 0 {
+		s.reg.Counter(phaseRetriesName, ph).Add(n)
+	}
+	return d
+}
+
+// EndErr ends the span with Outcome(err) — the common "defer-friendly"
+// shape for phases whose outcome is fully described by their error.
+func (s *Span) EndErr(err error) time.Duration { return s.End(Outcome(err)) }

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestSpanRecordsDurationAndOutcome(t *testing.T) {
+	r := NewRegistry()
+	sp := r.StartSpan("collect")
+	time.Sleep(2 * time.Millisecond)
+	sp.AddRetry()
+	sp.AddRetry()
+	d := sp.End("ok")
+	if d < 2*time.Millisecond {
+		t.Fatalf("span duration %v < slept 2ms", d)
+	}
+
+	s := r.Snapshot()
+	h := s.Histogram(phaseSecondsName, L("phase", "collect"), L("outcome", "ok"))
+	if h == nil || h.Count != 1 {
+		t.Fatalf("phase histogram = %+v, want one sample", h)
+	}
+	if h.Sum < 0.002 {
+		t.Fatalf("phase histogram sum %v < injected 2ms", h.Sum)
+	}
+	if got := s.Counter(phaseTotalName, L("phase", "collect"), L("outcome", "ok")); got != 1 {
+		t.Fatalf("phase total = %d, want 1", got)
+	}
+	if got := s.Counter(phaseRetriesName, L("phase", "collect")); got != 2 {
+		t.Fatalf("phase retries = %d, want 2", got)
+	}
+}
+
+func TestSpanEndIsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	sp := r.StartSpan("query")
+	sp.End("ok")
+	sp.End("error") // must not double-record or relabel
+	s := r.Snapshot()
+	if got := s.Counter(phaseTotalName, L("phase", "query"), L("outcome", "ok")); got != 1 {
+		t.Fatalf("ok total = %d, want 1", got)
+	}
+	if got := s.Counter(phaseTotalName, L("phase", "query"), L("outcome", "error")); got != 0 {
+		t.Fatalf("error total = %d, want 0 after idempotent End", got)
+	}
+}
+
+func TestSpanClampsOpenEndedStrings(t *testing.T) {
+	r := NewRegistry()
+	// A hostile/buggy caller passing query data as phase or outcome must
+	// land on the closed enum, never mint a new series.
+	sp := r.StartSpan("lat=48.85,lon=2.35")
+	sp.End("session-8f3a9c21")
+	s := r.Snapshot()
+	if got := s.Counter(phaseTotalName, L("phase", OtherValue), L("outcome", OtherValue)); got != 1 {
+		t.Fatalf("clamped total = %d, want 1", got)
+	}
+	for _, c := range s.Counters {
+		for _, v := range c.Labels {
+			if v == "lat=48.85,lon=2.35" || v == "session-8f3a9c21" {
+				t.Fatalf("raw label value leaked into %+v", c)
+			}
+		}
+	}
+}
+
+func TestOutcomeAndCauseMapping(t *testing.T) {
+	if got := Outcome(nil); got != "ok" {
+		t.Fatalf("Outcome(nil) = %q", got)
+	}
+	if got := Outcome(context.DeadlineExceeded); got != "timeout" {
+		t.Fatalf("Outcome(deadline) = %q", got)
+	}
+	if got := Outcome(context.Canceled); got != "canceled" {
+		t.Fatalf("Outcome(canceled) = %q", got)
+	}
+	if got := Outcome(errors.New("boom")); got != "error" {
+		t.Fatalf("Outcome(err) = %q", got)
+	}
+	if got := Cause(context.Canceled); got != "canceled" {
+		t.Fatalf("Cause(canceled) = %q", got)
+	}
+	if got := Cause(errors.New("boom")); got != OtherValue {
+		t.Fatalf("Cause(opaque) = %q", got)
+	}
+	// Every mapping output must be inside the respective enum.
+	for _, v := range []string{Outcome(nil), Outcome(context.Canceled), Outcome(errors.New("x"))} {
+		if !AllowedValues("outcome", v) {
+			t.Fatalf("Outcome produced out-of-enum value %q", v)
+		}
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"io"
 	"math/big"
 	"sync"
+	"time"
 )
 
 var one = big.NewInt(1)
@@ -222,6 +223,7 @@ func (pk *PublicKey) Encrypt(random io.Reader, m *big.Int, s int) (*Ciphertext, 
 	rs := new(big.Int).Exp(r, pk.NS(s), mod)
 	c.Mul(c, rs)
 	c.Mod(c, mod)
+	countEnc(s)
 	return &Ciphertext{C: c, S: s}, nil
 }
 
@@ -237,6 +239,7 @@ func (pk *PublicKey) Rerandomize(random io.Reader, c *Ciphertext) (*Ciphertext, 
 	if err != nil {
 		return nil, err
 	}
+	mRerandomize.Inc()
 	return pk.Add(c, zero)
 }
 
@@ -249,6 +252,7 @@ func (pk *PublicKey) Add(c1, c2 *Ciphertext) (*Ciphertext, error) {
 	mod := pk.NS(c1.S + 1)
 	c := new(big.Int).Mul(c1.C, c2.C)
 	c.Mod(c, mod)
+	mAdd.Inc()
 	return &Ciphertext{C: c, S: c1.S}, nil
 }
 
@@ -261,6 +265,7 @@ func (pk *PublicKey) MulPlain(x *big.Int, c *Ciphertext) *Ciphertext {
 		e = new(big.Int).Mod(x, pk.NS(c.S))
 	}
 	res := new(big.Int).Exp(c.C, e, mod)
+	mMulPlain.Inc()
 	return &Ciphertext{C: res, S: c.S}
 }
 
@@ -293,6 +298,7 @@ func (pk *PublicKey) DotProduct(xs []*big.Int, cs []*Ciphertext) (*Ciphertext, e
 		acc.Mul(acc, tmp)
 		acc.Mod(acc, mod)
 	}
+	mDot.Inc()
 	return &Ciphertext{C: acc, S: s}, nil
 }
 
@@ -301,6 +307,7 @@ func (pk *PublicKey) DotProduct(xs []*big.Int, cs []*Ciphertext) (*Ciphertext, e
 // encrypted column vector of length d; the result is the encrypted m-vector
 // A·v. When v is an indicator vector this privately selects a column of A.
 func (pk *PublicKey) MatSelect(a [][]*big.Int, v []*Ciphertext) ([]*Ciphertext, error) {
+	mMatSelect.Inc()
 	out := make([]*Ciphertext, len(a))
 	for i, row := range a {
 		c, err := pk.DotProduct(row, v)
@@ -324,6 +331,8 @@ func (sk *PrivateKey) Decrypt(c *Ciphertext) (*big.Int, error) {
 	if c.C.Sign() <= 0 || c.C.Cmp(mod) >= 0 {
 		return nil, errors.New("paillier: ciphertext out of range")
 	}
+	defer observeDecrypt(mDecryptCRT, time.Now())
+	countDec(c.S)
 	// c^λ via CRT over the factorization — the expensive step.
 	u := sk.expLambdaCRT(c.C, c.S)
 	x, err := sk.logOnePlusN(u, c.S)

@@ -45,6 +45,8 @@ func (p *Precomputer) Fill(random io.Reader, n int) error {
 	p.mu.Lock()
 	p.pool = append(p.pool, fresh...)
 	p.mu.Unlock()
+	mPoolFilled.Add(int64(len(fresh)))
+	mPoolDepth.Add(int64(len(fresh)))
 	return nil
 }
 
@@ -64,6 +66,7 @@ func (p *Precomputer) take() *big.Int {
 	}
 	r := p.pool[len(p.pool)-1]
 	p.pool = p.pool[:len(p.pool)-1]
+	mPoolDepth.Add(-1)
 	return r
 }
 
@@ -77,6 +80,7 @@ func (p *Precomputer) Encrypt(random io.Reader, m *big.Int) (ct *Ciphertext, fro
 	}
 	rs := p.take()
 	if rs == nil {
+		mEncOnline.Inc()
 		ct, err := p.pk.Encrypt(random, m, p.s)
 		return ct, false, err
 	}
@@ -84,5 +88,7 @@ func (p *Precomputer) Encrypt(random io.Reader, m *big.Int) (ct *Ciphertext, fro
 	c := p.pk.onePlusNExp(m, p.s)
 	c.Mul(c, rs)
 	c.Mod(c, mod)
+	mEncPooled.Inc()
+	countEnc(p.s)
 	return &Ciphertext{C: c, S: p.s}, true, nil
 }

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -10,6 +11,7 @@ import (
 
 	"ppgnn/internal/core"
 	"ppgnn/internal/cost"
+	"ppgnn/internal/obs"
 )
 
 // Pool defaults; fields left zero on a Pool pick these up at first use.
@@ -59,6 +61,9 @@ type Pool struct {
 	DialFunc func(addr string) (net.Conn, error)
 	// Seed makes the backoff jitter deterministic (0 = seed 1).
 	Seed int64
+	// Obs receives the pool's telemetry (nil = obs.Default). See
+	// DESIGN.md §9 for the metric catalog.
+	Obs *obs.Registry
 
 	initOnce sync.Once
 	sem      chan struct{} // bounds connections checked out + idle
@@ -66,6 +71,12 @@ type Pool struct {
 	idle     []net.Conn
 	rng      *rand.Rand
 	closed   bool
+
+	// Pre-bound instruments (init populates them from Obs).
+	mDialOK, mDialErr, mReuse, mBackoff *obs.Counter
+	mSessions                          func(outcome string) *obs.Counter
+	mRetries                           func(cause string) *obs.Counter
+	mInflight                          *obs.Gauge
 }
 
 // NewPool returns a Pool serving queries to addr with default sizing;
@@ -92,12 +103,39 @@ func (p *Pool) init() {
 		}
 		p.rng = rand.New(rand.NewSource(seed))
 		p.sem = make(chan struct{}, p.Size)
+
+		reg := p.Obs
+		if reg == nil {
+			reg = obs.Default()
+		}
+		p.mDialOK = reg.Counter("transport_dial_total", obs.L("outcome", "ok"))
+		p.mDialErr = reg.Counter("transport_dial_total", obs.L("outcome", "error"))
+		p.mReuse = reg.Counter("transport_conn_reuse_total")
+		p.mBackoff = reg.Counter("transport_backoff_total")
+		p.mInflight = reg.Gauge("transport_inflight")
+		p.mSessions = func(outcome string) *obs.Counter {
+			return reg.Counter("transport_sessions_total", obs.L("outcome", outcome))
+		}
+		p.mRetries = func(cause string) *obs.Counter {
+			return reg.Counter("transport_retries_total", obs.L("cause", cause))
+		}
 	})
 }
 
 // Process implements core.Service with automatic reconnect and retry.
-func (p *Pool) Process(q *core.QueryMsg, locs []*core.LocationMsg) (*core.AnswerMsg, error) {
+//
+// When every attempt fails, the returned error wraps the FULL cause
+// chain of the retry loop via errors.Join — not just the last attempt's
+// error — so typed causes (a *core.RemoteError behind two timeouts, a
+// refused dial before a reset) stay matchable with errors.Is/errors.As
+// after any number of resends.
+func (p *Pool) Process(q *core.QueryMsg, locs []*core.LocationMsg) (ans *core.AnswerMsg, err error) {
 	p.init()
+	p.mInflight.Add(1)
+	defer func() {
+		p.mInflight.Add(-1)
+		p.mSessions(sessionOutcome(err)).Inc()
+	}()
 	ctx := context.Background()
 	if p.QueryTimeout > 0 {
 		var cancel context.CancelFunc
@@ -108,28 +146,32 @@ func (p *Pool) Process(q *core.QueryMsg, locs []*core.LocationMsg) (*core.Answer
 	if retries < 0 {
 		retries = 0
 	}
-	var lastErr error
+	var attemptErrs []error
 	attempts := 0
 	for attempt := 0; attempt <= retries; attempt++ {
 		if attempt > 0 {
-			if err := p.backoff(ctx, attempt); err != nil {
-				break // deadline exhausted mid-backoff
+			p.mRetries(causeLabel(attemptErrs[len(attemptErrs)-1])).Inc()
+			if berr := p.backoff(ctx, attempt); berr != nil {
+				// Deadline exhausted mid-backoff: record it alongside the
+				// attempts it interrupted.
+				attemptErrs = append(attemptErrs, berr)
+				break
 			}
 		}
 		attempts++
 		// After a failure the pooled connections are suspect too (one
 		// broken path often means a broken network): retries always dial
 		// fresh, the first attempt may reuse an idle connection.
-		conn, err := p.acquire(ctx, attempt > 0)
-		if err != nil {
-			if !core.IsRetryable(err) {
-				return nil, err
+		conn, aerr := p.acquire(ctx, attempt > 0)
+		if aerr != nil {
+			if !core.IsRetryable(aerr) {
+				return nil, aerr
 			}
-			lastErr = err
+			attemptErrs = append(attemptErrs, fmt.Errorf("attempt %d: %w", attempts, aerr))
 			continue
 		}
-		ans, err := runSession(ctx, conn, q, locs, p.Meter)
-		if err == nil {
+		ans, serr := runSession(ctx, conn, q, locs, p.Meter)
+		if serr == nil {
 			p.release(conn)
 			return ans, nil
 		}
@@ -137,17 +179,51 @@ func (p *Pool) Process(q *core.QueryMsg, locs []*core.LocationMsg) (*core.Answer
 		// unknown, never reuse it.
 		conn.Close()
 		p.put(nil)
-		if !core.IsRetryable(err) {
-			return nil, err
+		if !core.IsRetryable(serr) {
+			return nil, serr
 		}
-		lastErr = err
+		attemptErrs = append(attemptErrs, fmt.Errorf("attempt %d: %w", attempts, serr))
 	}
-	return nil, fmt.Errorf("transport: session failed after %d attempt(s): %w", attempts, lastErr)
+	return nil, fmt.Errorf("transport: session failed after %d attempt(s): %w",
+		attempts, errors.Join(attemptErrs...))
+}
+
+// sessionOutcome maps a Process result to the closed "outcome" enum.
+func sessionOutcome(err error) string {
+	var re *core.RemoteError
+	if errors.As(err, &re) {
+		switch re.Msg {
+		case core.BusyMessage:
+			return "busy"
+		case core.DrainingMessage:
+			return "drain"
+		default:
+			return "remote"
+		}
+	}
+	return obs.Outcome(err)
+}
+
+// causeLabel maps a failed attempt's error to the closed "cause" enum.
+func causeLabel(err error) string {
+	var re *core.RemoteError
+	if errors.As(err, &re) {
+		switch re.Msg {
+		case core.BusyMessage:
+			return "busy"
+		case core.DrainingMessage:
+			return "draining"
+		default:
+			return "remote"
+		}
+	}
+	return obs.Cause(err)
 }
 
 // backoff sleeps for the attempt's jittered exponential delay, or fails
 // when the context expires first.
 func (p *Pool) backoff(ctx context.Context, attempt int) error {
+	p.mBackoff.Inc()
 	d := p.RetryBase << (attempt - 1)
 	if d > p.RetryMax || d <= 0 {
 		d = p.RetryMax
@@ -190,6 +266,7 @@ func (p *Pool) acquire(ctx context.Context, fresh bool) (net.Conn, error) {
 	p.mu.Unlock()
 	if conn != nil {
 		if !fresh {
+			p.mReuse.Inc()
 			return conn, nil
 		}
 		conn.Close()
@@ -201,8 +278,10 @@ func (p *Pool) acquire(ctx context.Context, fresh bool) (net.Conn, error) {
 	conn, err := dial(p.Addr)
 	if err != nil {
 		<-p.sem
+		p.mDialErr.Inc()
 		return nil, core.Retryable(fmt.Errorf("transport: dial %s: %w", p.Addr, err))
 	}
+	p.mDialOK.Inc()
 	return conn, nil
 }
 

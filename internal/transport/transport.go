@@ -16,6 +16,7 @@ import (
 
 	"ppgnn/internal/core"
 	"ppgnn/internal/cost"
+	"ppgnn/internal/obs"
 	"ppgnn/internal/wire"
 )
 
@@ -57,6 +58,10 @@ type Server struct {
 	// DrainTimeout bounds Close's wait for in-flight sessions (default
 	// DefaultDrainTimeout).
 	DrainTimeout time.Duration
+	// Obs receives the server's telemetry (nil = obs.Default): session
+	// outcomes, shed/drain/panic counters, frame-size histograms, and the
+	// "lsp" phase span around Algorithm 2. See DESIGN.md §9.
+	Obs *obs.Registry
 
 	mu        sync.Mutex
 	listener  net.Listener
@@ -91,6 +96,10 @@ func (s *Server) Serve(ln net.Listener) net.Addr {
 	s.mu.Lock()
 	s.listener = ln
 	s.mu.Unlock()
+	// Pre-register the rare-event counters so a metrics snapshot shows
+	// them at zero instead of omitting them until the first incident.
+	s.reg().Counter("transport_server_shed_total")
+	s.reg().Counter("transport_server_panics_total")
 	go s.acceptLoop(ln)
 	return ln.Addr()
 }
@@ -134,6 +143,7 @@ func (s *Server) acceptLoop(ln net.Listener) {
 // of unknown safety.
 func (s *Server) shed(conn net.Conn) {
 	defer conn.Close()
+	s.reg().Counter("transport_server_shed_total").Inc()
 	conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
 	wire.WriteFrame(conn, core.FrameError, []byte(core.BusyMessage))
 	s.logf("shed %v: at MaxConns=%d", conn.RemoteAddr(), s.MaxConns)
@@ -218,6 +228,27 @@ func (s *Server) logf(format string, args ...interface{}) {
 	}
 }
 
+// reg returns the server's telemetry registry.
+func (s *Server) reg() *obs.Registry {
+	if s.Obs != nil {
+		return s.Obs
+	}
+	return obs.Default()
+}
+
+// observeFrame records one frame payload's size in the server-side
+// frame histogram.
+func (s *Server) observeFrame(dir string, payloadLen int) {
+	s.reg().Histogram("transport_server_frame_bytes", obs.SizeBuckets, obs.L("dir", dir)).
+		Observe(float64(payloadLen + wire.FrameHeaderSize))
+}
+
+// countSession records one finished session under the closed outcome
+// enum.
+func (s *Server) countSession(outcome string) {
+	s.reg().Counter("transport_server_sessions_total", obs.L("outcome", outcome)).Inc()
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer func() {
 		conn.Close()
@@ -252,6 +283,10 @@ func (s *Server) serveQuery(conn net.Conn) (err error) {
 			conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
 			wire.WriteFrame(conn, core.FrameError, []byte("internal error"))
 			err = fmt.Errorf("transport: session panic: %v", r)
+			s.reg().Counter("transport_server_panics_total").Inc()
+			s.countSession("panic")
+		} else if inSession {
+			s.countSession(obs.Outcome(err))
 		}
 		if inSession {
 			s.endSession(conn)
@@ -270,9 +305,11 @@ func (s *Server) serveQuery(conn net.Conn) (err error) {
 	if err != nil {
 		return err
 	}
+	s.observeFrame("rx", len(payload))
 	if !s.beginSession(conn) {
 		conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
 		wire.WriteFrame(conn, core.FrameError, []byte(core.DrainingMessage))
+		s.countSession("drain")
 		return fmt.Errorf("transport: draining, session rejected")
 	}
 	inSession = true
@@ -319,6 +356,7 @@ func (s *Server) serveQuery(conn net.Conn) (err error) {
 		if err != nil {
 			return fmt.Errorf("reading locations: %w", err)
 		}
+		s.observeFrame("rx", len(payload))
 		if typ == core.FrameAnswer && expected < 0 {
 			// Sentinel: an empty answer frame marks end-of-locations for
 			// variants that do not pre-announce n.
@@ -333,14 +371,20 @@ func (s *Server) serveQuery(conn net.Conn) (err error) {
 		}
 		locs = append(locs, lm)
 	}
+	// The "lsp" span is Algorithm 2 as the provider experiences it:
+	// candidate enumeration, homomorphic selection, sanitation.
+	sp := s.reg().StartSpan("lsp")
 	ans, err := s.LSP.Process(q, locs, s.Meter)
+	sp.EndErr(err)
 	if err != nil {
 		return s.replyError(conn, err)
 	}
 	if err := conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
 		return err
 	}
-	return wire.WriteFrame(conn, core.FrameAnswer, ans.Marshal())
+	ab := ans.Marshal()
+	s.observeFrame("tx", len(ab))
+	return wire.WriteFrame(conn, core.FrameAnswer, ab)
 }
 
 func (s *Server) replyError(conn net.Conn, cause error) error {

@@ -1,0 +1,51 @@
+#!/bin/sh
+# Metrics-endpoint smoke test: start ppgnn-lsp with -metrics-addr, run
+# one remote query against it, and require the endpoint to serve a JSON
+# snapshot containing the LSP-side phase histogram and server counters.
+set -eu
+
+workdir=$(mktemp -d)
+trap 'kill "$lsp_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/ppgnn-lsp" ./cmd/ppgnn-lsp
+go build -o "$workdir/ppgnn" ./cmd/ppgnn
+
+"$workdir/ppgnn-lsp" -addr 127.0.0.1:19042 -metrics-addr 127.0.0.1:19043 -quiet &
+lsp_pid=$!
+
+# Wait for the metrics endpoint to come up (the daemon logs it first).
+i=0
+until curl -sf http://127.0.0.1:19043/metrics >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -gt 50 ] && { echo "metrics endpoint never came up" >&2; exit 1; }
+    sleep 0.2
+done
+
+"$workdir/ppgnn" -connect 127.0.0.1:19042 -keybits 256 -d 6 -delta 12 -k 4 \
+    -variant ppgnn -seed 7 0.2,0.3 0.25,0.35 >/dev/null
+
+curl -sf http://127.0.0.1:19043/metrics >"$workdir/snap.json"
+SNAP="$workdir/snap.json" python3 - <<'PY'
+import json
+import os
+
+with open(os.environ["SNAP"]) as f:
+    snap = json.load(f)
+hists = {(h["name"], h["labels"].get("phase", "")) for h in snap["histograms"] if h.get("labels")}
+counters = {c["name"] for c in snap["counters"]}
+
+assert ("ppgnn_phase_seconds", "lsp") in hists, f"lsp phase histogram missing: {sorted(hists)}"
+assert "transport_server_sessions_total" in counters, f"server session counter missing: {sorted(counters)}"
+assert "transport_server_shed_total" in counters, "shed counter missing"
+assert "paillier_ops_total" in counters, f"paillier op counter missing: {sorted(counters)}"
+
+# Redaction spot-check from the outside: label values are short enum
+# words (the degree enum uses "1"/"2"), never coordinates, hex blobs, or
+# session ids. The authoritative check is internal/obs/privacy_test.go.
+import re
+for section in ("counters", "gauges", "histograms"):
+    for m in snap[section]:
+        for k, v in (m.get("labels") or {}).items():
+            assert re.fullmatch(r"[a-z0-9_]{1,16}", v), f"suspicious label {k}={v!r} on {m['name']}"
+print("metrics smoke ok:", len(snap["counters"]), "counters,", len(snap["histograms"]), "histograms")
+PY
