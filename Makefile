@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-snapshot metrics-smoke clean
+.PHONY: all build vet test race fuzz bench-gate bench-snapshot metrics-smoke clean
 
 all: vet build test
 
@@ -13,10 +13,26 @@ vet:
 test:
 	$(GO) test ./...
 
-# The concurrency-sensitive stack (includes the 64-goroutine registry
-# hammer in internal/obs).
+# The whole module under the race detector — the batch crypto layer runs
+# a 64-goroutine key-sharing hammer, internal/parallel a cancellation
+# leak check, internal/obs the registry hammer.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/group/... ./internal/transport/... ./internal/core/... ./internal/faultnet/... ./internal/wire/...
+	$(GO) test -race ./...
+
+# Short burst of every fuzz target (15s each by default; FUZZTIME=1m
+# for longer local runs).
+fuzz:
+	./scripts/fuzz-pass.sh ./internal/core ./internal/wire
+
+# The CI benchmark-regression gate, runnable locally: the serial vs
+# parallel pipeline benchmarks, then the LSP query-phase speedup gate
+# against the committed baseline. Refresh the baseline by copying
+# BENCH_parallel.ci.json over BENCH_parallel.json on representative
+# hardware.
+bench-gate:
+	$(GO) test -run '^$$' -bench 'Paillier|LSP|Pipeline' -benchtime 1x -count 3 .
+	$(GO) run ./cmd/ppgnn-experiments -parallel-gate -gate-reps 3 \
+		-gate-baseline BENCH_parallel.json -gate-out BENCH_parallel.ci.json
 
 # Seeded n=5 t=3 faultnet soak; writes per-phase p50/p95, retry/dropout
 # counters, and the Precomputer hit rate to BENCH_obs.json (DESIGN.md §9).
@@ -29,4 +45,4 @@ metrics-smoke:
 	./scripts/metrics-smoke.sh
 
 clean:
-	rm -f BENCH_obs.json
+	rm -f BENCH_obs.json BENCH_parallel.ci.json

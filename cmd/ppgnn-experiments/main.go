@@ -18,6 +18,13 @@
 //	             retry counters, Precomputer hit rate) to -snapshot-out
 //	-snapshot-out F  output file for -snapshot (default BENCH_obs.json)
 //	-latency D   faultnet latency injected on every soak link (default 5ms)
+//	-parallel-gate   measure the LSP query phase serial vs parallel, assert
+//	             the answers are byte-identical, and write the timing report
+//	             to -gate-out; exits nonzero if the speedup is below the CI
+//	             floor or regresses against -gate-baseline
+//	-gate-out F      output file for -parallel-gate (default BENCH_parallel.json)
+//	-gate-baseline F committed baseline report to gate against (optional)
+//	-gate-reps N     repetitions per width, best-of (default 3)
 //
 // Absolute timings differ from the paper's C++/GMP testbed; the shapes
 // (who wins, growth rates, crossovers) are the reproduction target. See
@@ -45,6 +52,10 @@ func main() {
 	snapshot := flag.Bool("snapshot", false, "run the n=5 t=3 faultnet soak and write its telemetry JSON")
 	snapshotOut := flag.String("snapshot-out", "BENCH_obs.json", "output file for -snapshot")
 	latency := flag.Duration("latency", 5*time.Millisecond, "faultnet latency per soak link (-snapshot)")
+	parallelGate := flag.Bool("parallel-gate", false, "time the LSP query phase serial vs parallel and write the gate report")
+	gateOut := flag.String("gate-out", "BENCH_parallel.json", "output file for -parallel-gate")
+	gateBaseline := flag.String("gate-baseline", "", "baseline report to gate -parallel-gate against (optional)")
+	gateReps := flag.Int("gate-reps", 3, "repetitions per width for -parallel-gate, best-of")
 	flag.Parse()
 
 	cfg := experiments.Config{
@@ -59,6 +70,47 @@ func main() {
 			fatal(err)
 		}
 		cfg.Items = items
+	}
+
+	if *parallelGate {
+		start := time.Now()
+		report, err := cfg.ParallelGate(0, *gateReps)
+		if err != nil {
+			fatal(err)
+		}
+		b, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*gateOut, append(b, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("parallel gate: keybits=%d δ'=%d workers=%d cores=%d reps=%d\n",
+			report.KeyBits, report.DeltaPrime, report.Workers, report.Cores, report.Reps)
+		fmt.Printf("  serial %v/op, parallel %v/op, speedup %.2fx (answers byte-identical), report in %s (%v)\n",
+			time.Duration(report.SerialNsOp).Round(time.Microsecond),
+			time.Duration(report.ParallelNsOp).Round(time.Microsecond),
+			report.Speedup, *gateOut, time.Since(start).Round(time.Millisecond))
+		var baseline *experiments.ParallelReport
+		if *gateBaseline != "" {
+			raw, err := os.ReadFile(*gateBaseline)
+			if err != nil {
+				fatal(err)
+			}
+			baseline = new(experiments.ParallelReport)
+			if err := json.Unmarshal(raw, baseline); err != nil {
+				fatal(fmt.Errorf("parsing %s: %w", *gateBaseline, err))
+			}
+			fmt.Printf("  baseline: serial %v/op, parallel %v/op, speedup %.2fx, cores=%d\n",
+				time.Duration(baseline.SerialNsOp).Round(time.Microsecond),
+				time.Duration(baseline.ParallelNsOp).Round(time.Microsecond),
+				baseline.Speedup, baseline.Cores)
+		}
+		if err := report.Check(baseline); err != nil {
+			fatal(err)
+		}
+		fmt.Println("  gate: PASS")
+		return
 	}
 
 	if *snapshot {

@@ -7,7 +7,8 @@
 //
 //	-addr A      listen address (default :9042)
 //	-dataset F   point file (default: the bundled Sequoia substitute)
-//	-workers N   parallel candidate-query workers (default 1)
+//	-workers N   worker-pool width for candidate queries and the
+//	             homomorphic selection (default 0 = GOMAXPROCS)
 //	-seed N      sanitation RNG seed
 //	-quiet       suppress per-connection logs
 //	-max-conns N      connection limit; excess clients are shed with a
@@ -26,18 +27,20 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"ppgnn"
 	"ppgnn/internal/obs"
+	"ppgnn/internal/parallel"
 	"ppgnn/internal/transport"
 )
 
 func main() {
 	addr := flag.String("addr", ":9042", "listen address")
 	datasetPath := flag.String("dataset", "", "point file (default: Sequoia substitute)")
-	workers := flag.Int("workers", 1, "parallel candidate-query workers")
+	workers := flag.Int("workers", 0, "worker-pool width for candidate queries and homomorphic selection (0 = all cores)")
 	seed := flag.Int64("seed", 1, "sanitation RNG seed")
 	quiet := flag.Bool("quiet", false, "suppress per-connection logs")
 	maxConns := flag.Int("max-conns", 0, "connection limit, 0 = unlimited")
@@ -57,8 +60,16 @@ func main() {
 	} else {
 		pois = ppgnn.SequoiaDataset()
 	}
+	// Flag semantics: 0 = GOMAXPROCS. The library keeps 0 = sequential
+	// (the paper's cost accounting), so resolve here and size the
+	// process-default pool to match.
+	poolWidth := *workers
+	if poolWidth <= 0 {
+		poolWidth = runtime.GOMAXPROCS(0)
+	}
+	parallel.SetDefaultWorkers(poolWidth)
 	server := ppgnn.NewServer(pois, ppgnn.UnitSpace)
-	server.Workers = *workers
+	server.Workers = poolWidth
 	server.SanitizeSeed = *seed
 
 	srv := transport.NewServer(server)
@@ -81,7 +92,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	log.Printf("ppgnn-lsp: serving %d POIs on %s (workers=%d max-conns=%d)", len(pois), bound, *workers, *maxConns)
+	log.Printf("ppgnn-lsp: serving %d POIs on %s (workers=%d max-conns=%d)", len(pois), bound, poolWidth, *maxConns)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -27,6 +27,8 @@
 //	             group requiring all n)
 //	-member-timeout D  per-member exchange deadline for -quorum-t
 //	-ids         include POI database IDs in the answer
+//	-workers N   worker-pool width for batch encryption/decryption and
+//	             the in-process LSP (default 0 = GOMAXPROCS)
 //	-v           print cost accounting
 //	-metrics-addr A  serve the JSON metrics snapshot and pprof on A for
 //	                 the process lifetime (default off); with -v the
@@ -46,6 +48,7 @@ import (
 
 	"ppgnn"
 	"ppgnn/internal/obs"
+	"ppgnn/internal/parallel"
 )
 
 func main() {
@@ -69,7 +72,12 @@ func main() {
 	quorumT := flag.Int("quorum-t", 0, "complete with any t-of-n users via a quorum group session (0 = require all)")
 	memberTimeout := flag.Duration("member-timeout", 5*time.Second, "per-member exchange deadline for -quorum-t")
 	metricsAddr := flag.String("metrics-addr", "", "serve JSON metrics snapshot and pprof on this address (default off)")
+	workers := flag.Int("workers", 0, "worker-pool width for batch crypto and the in-process LSP (0 = all cores)")
 	flag.Parse()
+
+	// 0 = GOMAXPROCS at the flag layer; the resolved width sizes the
+	// process-default pool every batch crypto call draws from.
+	parallel.SetDefaultWorkers(*workers)
 
 	if *metricsAddr != "" {
 		maddr, stop, err := obs.Serve(*metricsAddr, obs.Default())
@@ -198,7 +206,9 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "loaded %d POIs\n", len(pois))
-		svc = ppgnn.LocalMetered(ppgnn.NewServer(pois, ppgnn.UnitSpace), &meter)
+		server := ppgnn.NewServer(pois, ppgnn.UnitSpace)
+		server.Workers = parallel.Default().Workers()
+		svc = ppgnn.LocalMetered(server, &meter)
 	}
 
 	start := time.Now()

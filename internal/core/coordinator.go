@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"math/rand"
@@ -302,22 +303,9 @@ func (c *Coordinator) DecryptAnswer(ans *AnswerMsg, meter *cost.Meter) ([]encode
 	}
 	start := time.Now()
 	defer func() { meter.AddTime(cost.Users, time.Since(start)) }()
-	ints := make([]*big.Int, len(ans.Cts))
-	for i, cv := range ans.Cts {
-		ct := &paillier.Ciphertext{C: cv, S: ans.Degree}
-		var (
-			m   *big.Int
-			err error
-		)
-		if ans.Degree == 2 {
-			m, err = c.Key.DecryptLayered(ct, 2)
-		} else {
-			m, err = c.Key.Decrypt(ct)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("core: decrypting answer element %d: %w", i, err)
-		}
-		ints[i] = m
+	ints, err := decryptAnswerInts(c.Key, ans)
+	if err != nil {
+		return nil, err
 	}
 	meter.CountOp(fmt.Sprintf("dec%d", ans.Degree), int64(len(ints)))
 	return c.DecodeInts(ints)
@@ -330,12 +318,16 @@ func (c *Coordinator) PartialSelf(degree int, cts []*big.Int) ([]*big.Int, error
 	if c.TK == nil {
 		return nil, fmt.Errorf("core: not a threshold coordinator")
 	}
-	out := make([]*big.Int, len(cts))
+	in := make([]*paillier.Ciphertext, len(cts))
 	for i, cv := range cts {
-		ds, err := c.TK.PartialDecrypt(c.Share, &paillier.Ciphertext{C: cv, S: degree})
-		if err != nil {
-			return nil, fmt.Errorf("core: partial decryption of element %d: %w", i, err)
-		}
+		in[i] = &paillier.Ciphertext{C: cv, S: degree}
+	}
+	dss, err := c.TK.PartialDecryptBatch(context.Background(), nil, c.Share, in)
+	if err != nil {
+		return nil, fmt.Errorf("core: partial decryption: %w", err)
+	}
+	out := make([]*big.Int, len(dss))
+	for i, ds := range dss {
 		out[i] = ds.Value
 	}
 	return out, nil
@@ -365,17 +357,17 @@ func (c *Coordinator) CombinePartials(degree int, cts []*big.Int, shares map[int
 
 	start := time.Now()
 	defer func() { meter.AddTime(cost.Users, time.Since(start)) }()
-	out := make([]*big.Int, len(cts))
+	sets := make([][]*paillier.DecryptionShare, len(cts))
 	for i := range cts {
 		ds := make([]*paillier.DecryptionShare, len(idxs))
 		for j, idx := range idxs {
 			ds[j] = &paillier.DecryptionShare{Index: idx, S: degree, Value: shares[idx][i]}
 		}
-		m, err := c.TK.Combine(ds)
-		if err != nil {
-			return nil, fmt.Errorf("core: combining shares for element %d: %w", i, err)
-		}
-		out[i] = m
+		sets[i] = ds
+	}
+	out, err := c.TK.CombineBatch(context.Background(), nil, sets)
+	if err != nil {
+		return nil, fmt.Errorf("core: combining shares: %w", err)
 	}
 	meter.CountOp("threshold-dec", int64(len(cts)*c.TK.T))
 	return out, nil

@@ -1,12 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/big"
 	"math/rand"
 	"sort"
-	"sync"
 	"time"
 
 	"ppgnn/internal/cost"
@@ -14,6 +14,7 @@ import (
 	"ppgnn/internal/geo"
 	"ppgnn/internal/gnn"
 	"ppgnn/internal/paillier"
+	"ppgnn/internal/parallel"
 	"ppgnn/internal/partition"
 	"ppgnn/internal/rtree"
 	"ppgnn/internal/sanitize"
@@ -32,8 +33,11 @@ type LSP struct {
 	// Search answers plaintext group queries; defaults to MBM over the
 	// R-tree built by NewLSP.
 	Search SearchFunc
-	// Workers bounds the candidate-query parallelism (1 = sequential,
-	// matching the paper's single-threaded LSP cost accounting; 0 = 1).
+	// Workers bounds the per-query parallelism across candidate queries
+	// and the homomorphic selection (1 = sequential, matching the paper's
+	// single-threaded LSP cost accounting; 0 = 1; negative = GOMAXPROCS).
+	// cmd/ppgnn-lsp maps its -workers flag here, with flag value 0
+	// meaning GOMAXPROCS.
 	Workers int
 	// SanitizeSeed makes the Monte-Carlo sanitation reproducible; each
 	// candidate query derives its own stream from it.
@@ -69,6 +73,16 @@ func NewLSP(items []rtree.Item, space geo.Rect) *LSP {
 
 // Tree exposes the POI index (used by baselines sharing the database).
 func (l *LSP) Tree() *rtree.Tree { return l.tree }
+
+// pool maps the Workers knob onto a parallel.Pool: 0 keeps the paper's
+// sequential cost accounting, negative widths resolve to GOMAXPROCS.
+func (l *LSP) pool() *parallel.Pool {
+	w := l.Workers
+	if w == 0 {
+		w = 1
+	}
+	return parallel.New(w)
+}
 
 // Insert adds a POI to the live database — the dynamic-database capability
 // the paper contrasts against precomputation-based schemes.
@@ -119,59 +133,36 @@ func (l *LSP) Process(q *QueryMsg, locs []*LocationMsg, meter *cost.Meter) (ans 
 		Space: l.Space, Agg: q.Agg,
 	}
 	encoded := make([][]*big.Int, len(candidates))
-	var wg sync.WaitGroup
-	workers := l.Workers
-	if workers < 1 {
-		workers = 1
-	}
-	sem := make(chan struct{}, workers)
-	var procErr error
-	var errMu sync.Mutex
-	for t := range candidates {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(t int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			// A panic here would escape any recover installed by the
-			// caller (transport sessions recover per session); convert it
-			// into a query rejection so one hostile query cannot kill a
-			// serving process.
-			defer func() {
-				if r := recover(); r != nil {
-					errMu.Lock()
-					if procErr == nil {
-						procErr = fmt.Errorf("core: candidate query %d panicked: %v", t, r)
-					}
-					errMu.Unlock()
-				}
-			}()
-			res := l.Search(candidates[t], q.K, q.Agg)
-			if q.Sanitize && n > 1 {
-				rng := rand.New(rand.NewSource(l.SanitizeSeed + int64(t)))
-				res = sanCfg.Sanitize(rng, res, candidates[t])
+	err = l.pool().ForEach(context.Background(), len(candidates), func(t int) (taskErr error) {
+		// A panic here would escape any recover installed by the caller
+		// (transport sessions recover per session); convert it into a
+		// query rejection so one hostile query cannot kill a serving
+		// process.
+		defer func() {
+			if r := recover(); r != nil {
+				taskErr = fmt.Errorf("core: candidate query %d panicked: %v", t, r)
 			}
-			records := make([]encode.Record, len(res))
-			for i, r := range res {
-				records[i] = encode.RecordOf(r.Item.ID, r.Item.P, l.Space)
+		}()
+		res := l.Search(candidates[t], q.K, q.Agg)
+		if q.Sanitize && n > 1 {
+			rng := rand.New(rand.NewSource(l.SanitizeSeed + int64(t)))
+			res = sanCfg.Sanitize(rng, res, candidates[t])
+		}
+		records := make([]encode.Record, len(res))
+		for i, r := range res {
+			records[i] = encode.RecordOf(r.Item.ID, r.Item.P, l.Space)
+		}
+		ints := codec.Encode(records)
+		for _, v := range ints {
+			if v.Cmp(q.PK) >= 0 {
+				return fmt.Errorf("core: encoded answer exceeds modulus")
 			}
-			ints := codec.Encode(records)
-			for _, v := range ints {
-				if v.Cmp(q.PK) >= 0 {
-					errMu.Lock()
-					if procErr == nil {
-						procErr = fmt.Errorf("core: encoded answer exceeds modulus")
-					}
-					errMu.Unlock()
-					return
-				}
-			}
-			encoded[t] = ints
-		}(t)
-	}
-	wg.Wait()
-	if procErr != nil {
-		return nil, procErr
+		}
+		encoded[t] = ints
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	meter.CountOp("kgnn", int64(len(candidates)))
 	if q.Sanitize && n > 1 {
@@ -298,21 +289,25 @@ func (l *LSP) selectSinglePhase(pk *paillier.PublicKey, q *QueryMsg, encoded [][
 	for i, c := range q.V {
 		v[i] = &paillier.Ciphertext{C: c, S: 1}
 	}
-	out := make([]*big.Int, m)
+	rows := make([][]*big.Int, m)
 	for i := 0; i < m; i++ {
 		row := make([]*big.Int, len(encoded))
 		for t := range encoded {
 			row[t] = encoded[t][i]
 		}
-		ct, err := pk.DotProduct(row, v)
-		if err != nil {
-			return nil, fmt.Errorf("core: private selection row %d: %w", i, err)
+		rows[i] = row
+	}
+	cts, err := pk.MatSelectBatch(context.Background(), l.pool(), rows, v)
+	if err != nil {
+		return nil, fmt.Errorf("core: private selection: %w", err)
+	}
+	if l.Rerandomize {
+		if cts, err = pk.RerandomizeBatch(context.Background(), l.pool(), nil, cts); err != nil {
+			return nil, fmt.Errorf("core: rerandomizing answer: %w", err)
 		}
-		if l.Rerandomize {
-			if ct, err = pk.Rerandomize(nil, ct); err != nil {
-				return nil, fmt.Errorf("core: rerandomizing row %d: %w", i, err)
-			}
-		}
+	}
+	out := make([]*big.Int, m)
+	for i, ct := range cts {
 		out[i] = ct.C
 	}
 	meter.CountOp("homomorphic-dot", int64(m))
@@ -345,29 +340,17 @@ func (l *LSP) selectTwoPhase(pk *paillier.PublicKey, q *QueryMsg, encoded [][]*b
 		encoded = append(encoded, zero)
 	}
 
+	cts, err := pk.LayeredSelectBatch(context.Background(), l.pool(), encoded, v1, v2)
+	if err != nil {
+		return nil, fmt.Errorf("core: layered selection: %w", err)
+	}
+	if l.Rerandomize {
+		if cts, err = pk.RerandomizeBatch(context.Background(), l.pool(), nil, cts); err != nil {
+			return nil, fmt.Errorf("core: rerandomizing answer: %w", err)
+		}
+	}
 	out := make([]*big.Int, m)
-	phase1 := make([]*big.Int, omega)
-	for i := 0; i < m; i++ {
-		for b := 0; b < omega; b++ {
-			row := make([]*big.Int, cols)
-			for c := 0; c < cols; c++ {
-				row[c] = encoded[b*cols+c][i]
-			}
-			ct, err := pk.DotProduct(row, v1)
-			if err != nil {
-				return nil, fmt.Errorf("core: phase-1 selection: %w", err)
-			}
-			phase1[b] = ct.C
-		}
-		ct, err := pk.DotProduct(phase1, v2)
-		if err != nil {
-			return nil, fmt.Errorf("core: phase-2 selection: %w", err)
-		}
-		if l.Rerandomize {
-			if ct, err = pk.Rerandomize(nil, ct); err != nil {
-				return nil, fmt.Errorf("core: rerandomizing answer: %w", err)
-			}
-		}
+	for i, ct := range cts {
 		out[i] = ct.C
 	}
 	meter.CountOp("homomorphic-dot", int64(m*(omega+1)))

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"math/rand"
@@ -86,33 +87,46 @@ func (tg *ThresholdGroup) DecryptAnswer(ans *AnswerMsg, meter *cost.Meter) ([]en
 	}
 	kb := (tg.TK.N.BitLen() + 7) / 8
 
-	jointDecrypt := func(c *paillier.Ciphertext) (*big.Int, error) {
-		shares := make([]*paillier.DecryptionShare, 0, tg.T)
+	// jointDecryptAll runs one threshold round over the whole vector:
+	// each of the T contributing holders produces its shares for every
+	// element in one parallel batch (that is also how the distributed
+	// session collects them — one PartialMsg per member, covering all
+	// elements), then combination fans out per element. The transfer
+	// accounting is unchanged: T shares of (S+1)·kb bytes per element.
+	jointDecryptAll := func(cs []*paillier.Ciphertext) ([]*big.Int, error) {
+		sets := make([][]*paillier.DecryptionShare, len(cs))
 		for _, ks := range tg.Shares[:tg.T] {
-			ds, err := tg.TK.PartialDecrypt(ks, c)
+			dss, err := tg.TK.PartialDecryptBatch(context.Background(), nil, ks, cs)
 			if err != nil {
 				return nil, err
 			}
-			// Each contributor sends its share to the coordinator.
-			meter.AddBytes(cost.IntraGroup, (c.S+1)*kb)
-			shares = append(shares, ds)
-		}
-		return tg.TK.Combine(shares)
-	}
-
-	ints := make([]*big.Int, len(ans.Cts))
-	for i, cval := range ans.Cts {
-		m, err := jointDecrypt(&paillier.Ciphertext{C: cval, S: ans.Degree})
-		if err != nil {
-			return nil, fmt.Errorf("core: joint decryption element %d: %w", i, err)
-		}
-		if ans.Degree == 2 {
-			// The ε₂ plaintext is itself an ε₁ ciphertext: second round.
-			if m, err = jointDecrypt(&paillier.Ciphertext{C: m, S: 1}); err != nil {
-				return nil, fmt.Errorf("core: joint inner decryption element %d: %w", i, err)
+			for i, ds := range dss {
+				sets[i] = append(sets[i], ds)
 			}
 		}
-		ints[i] = m
+		for _, c := range cs {
+			meter.AddBytes(cost.IntraGroup, tg.T*(c.S+1)*kb)
+		}
+		return tg.TK.CombineBatch(context.Background(), nil, sets)
+	}
+
+	cts := make([]*paillier.Ciphertext, len(ans.Cts))
+	for i, cval := range ans.Cts {
+		cts[i] = &paillier.Ciphertext{C: cval, S: ans.Degree}
+	}
+	ints, err := jointDecryptAll(cts)
+	if err != nil {
+		return nil, fmt.Errorf("core: joint decryption: %w", err)
+	}
+	if ans.Degree == 2 {
+		// The ε₂ plaintexts are themselves ε₁ ciphertexts: second round.
+		inner := make([]*paillier.Ciphertext, len(ints))
+		for i, m := range ints {
+			inner[i] = &paillier.Ciphertext{C: m, S: 1}
+		}
+		if ints, err = jointDecryptAll(inner); err != nil {
+			return nil, fmt.Errorf("core: joint inner decryption: %w", err)
+		}
 	}
 	meter.CountOp("threshold-dec", int64(len(ints)*tg.T))
 

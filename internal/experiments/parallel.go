@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"ppgnn/internal/core"
+	"ppgnn/internal/cost"
+)
+
+// ParallelReport is the payload of BENCH_parallel.json: the serial vs
+// parallel timing of the LSP query phase — core.LSP.Process, covering
+// candidate kGNN, sanitation, encoding, and the homomorphic private
+// selection — over one fixed query. The answers produced at every width
+// are asserted byte-equal, so the gate doubles as a determinism check of
+// the production path (not just the unit-test harness).
+//
+// CI compares a fresh report against the committed baseline via Check;
+// the baseline is regenerated with `make bench-gate` (or
+// `ppgnn-experiments -parallel-gate`).
+type ParallelReport struct {
+	KeyBits    int `json:"keybits"`
+	DeltaPrime int `json:"delta_prime"`
+	N          int `json:"n"`
+	Workers    int `json:"workers"`
+	Cores      int `json:"cores"`
+	Reps       int `json:"reps"`
+
+	SerialNsOp   int64   `json:"serial_ns_op"`   // best of Reps at Workers=1
+	ParallelNsOp int64   `json:"parallel_ns_op"` // best of Reps at Workers
+	Speedup      float64 `json:"speedup"`        // serial / parallel
+}
+
+// ParallelGate measures the LSP query phase serially (Workers=1) and with
+// a pool of the given width (0 = GOMAXPROCS), reps repetitions each, and
+// reports the best time per width. The query is built once and replayed,
+// so the two widths process identical bytes; their answers must match
+// exactly or the gate errors.
+func (c Config) ParallelGate(workers, reps int) (*ParallelReport, error) {
+	c = c.Defaults()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if reps <= 0 {
+		reps = 3
+	}
+
+	rng := rand.New(rand.NewSource(c.Seed))
+	const n = 4
+	p := core.DefaultParams(n)
+	p.KeyBits = c.KeyBits
+	locs := randomLocations(rng, n, c.Space)
+	g, err := core.NewGroup(p, locs, rng)
+	if err != nil {
+		return nil, err
+	}
+	dp := g.DeltaPrime()
+	if dp < 32 {
+		return nil, fmt.Errorf("parallel gate: δ'=%d below the 32-candidate floor the gate is specified for", dp)
+	}
+	var m cost.Meter
+	q, lms, err := g.BuildQuery(&m)
+	if err != nil {
+		return nil, err
+	}
+	lsp := core.NewLSP(c.Items, c.Space)
+
+	// One timed sweep at a fixed width; returns best-of-reps and the
+	// marshalled answer of the last repetition.
+	run := func(width int) (int64, []byte, error) {
+		lsp.Workers = width
+		var best int64
+		var answer []byte
+		for r := 0; r < reps+1; r++ { // +1: untimed warm-up (cache fills)
+			var rm cost.Meter
+			start := time.Now()
+			ans, err := lsp.Process(q, lms, &rm)
+			elapsed := time.Since(start).Nanoseconds()
+			if err != nil {
+				return 0, nil, err
+			}
+			if r == 0 {
+				continue
+			}
+			if best == 0 || elapsed < best {
+				best = elapsed
+			}
+			answer = ans.Marshal()
+		}
+		return best, answer, nil
+	}
+
+	serialNs, serialAns, err := run(1)
+	if err != nil {
+		return nil, fmt.Errorf("parallel gate: serial run: %w", err)
+	}
+	parallelNs, parallelAns, err := run(workers)
+	if err != nil {
+		return nil, fmt.Errorf("parallel gate: parallel run: %w", err)
+	}
+	if !bytes.Equal(serialAns, parallelAns) {
+		return nil, fmt.Errorf("parallel gate: answers differ between workers=1 and workers=%d — parallel pipeline is nondeterministic", workers)
+	}
+
+	rep := &ParallelReport{
+		KeyBits: p.KeyBits, DeltaPrime: dp, N: n,
+		Workers: workers, Cores: runtime.GOMAXPROCS(0), Reps: reps,
+		SerialNsOp: serialNs, ParallelNsOp: parallelNs,
+	}
+	if parallelNs > 0 {
+		rep.Speedup = float64(serialNs) / float64(parallelNs)
+	}
+	return rep, nil
+}
+
+// Check enforces the CI gate. With two or more cores the parallel path
+// must clear a 1.5× speedup over serial; on a single core the floor is
+// meaningless (there is nothing to parallelize onto) and only the
+// determinism assertion inside ParallelGate applies. Baseline comparisons
+// only run when the core counts match — neither nanoseconds nor achievable
+// speedups are comparable across different hardware: the parallel time may
+// not regress more than 20%, and on multi-core hardware the speedup may
+// not collapse below 80% of the baseline's.
+func (r *ParallelReport) Check(baseline *ParallelReport) error {
+	if r.Cores >= 2 && r.Speedup < 1.5 {
+		return fmt.Errorf("parallel gate: speedup %.2f× below the 1.5× floor (serial %d ns, parallel %d ns, workers=%d, cores=%d)",
+			r.Speedup, r.SerialNsOp, r.ParallelNsOp, r.Workers, r.Cores)
+	}
+	if baseline == nil || baseline.Cores != r.Cores {
+		return nil
+	}
+	if baseline.ParallelNsOp > 0 {
+		limit := baseline.ParallelNsOp + baseline.ParallelNsOp/5
+		if r.ParallelNsOp > limit {
+			return fmt.Errorf("parallel gate: parallel ns/op %d regressed >20%% vs baseline %d (cores=%d)",
+				r.ParallelNsOp, baseline.ParallelNsOp, r.Cores)
+		}
+	}
+	if r.Cores >= 2 && r.Speedup < 0.8*baseline.Speedup {
+		return fmt.Errorf("parallel gate: speedup %.2f× below 80%% of baseline %.2f×",
+			r.Speedup, baseline.Speedup)
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParallelGateRuns exercises the measurement end to end at a small key
+// size: the report must carry the configured shape and an internally
+// consistent speedup, and the byte-equality assertion inside must hold.
+func TestParallelGateRuns(t *testing.T) {
+	c := Config{KeyBits: 512, Seed: 7}
+	rep, err := c.ParallelGate(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.KeyBits != 512 || rep.Workers != 2 || rep.Reps != 1 {
+		t.Fatalf("report shape: %+v", rep)
+	}
+	if rep.DeltaPrime < 32 {
+		t.Fatalf("δ'=%d below gate floor", rep.DeltaPrime)
+	}
+	if rep.SerialNsOp <= 0 || rep.ParallelNsOp <= 0 || rep.Speedup <= 0 {
+		t.Fatalf("non-positive timings: %+v", rep)
+	}
+}
+
+// TestParallelReportCheck pins the gate rules on synthetic reports, so a
+// rule regression fails here rather than in a slow CI bench job.
+func TestParallelReportCheck(t *testing.T) {
+	multi := &ParallelReport{Cores: 8, Workers: 8, SerialNsOp: 3000, ParallelNsOp: 1000, Speedup: 3.0}
+	single := &ParallelReport{Cores: 1, Workers: 1, SerialNsOp: 1000, ParallelNsOp: 1050, Speedup: 0.95}
+
+	cases := []struct {
+		name     string
+		report   *ParallelReport
+		baseline *ParallelReport
+		wantErr  string
+	}{
+		{"multi-core above floor", multi, nil, ""},
+		{"single core exempt from floor", single, nil, ""},
+		{"multi-core below floor", &ParallelReport{Cores: 8, SerialNsOp: 1000, ParallelNsOp: 900, Speedup: 1.1}, nil, "1.5× floor"},
+		{"matching cores within 20%", &ParallelReport{Cores: 8, SerialNsOp: 3300, ParallelNsOp: 1100, Speedup: 3.0}, multi, ""},
+		{"matching cores regressed", &ParallelReport{Cores: 8, SerialNsOp: 4500, ParallelNsOp: 1500, Speedup: 3.0}, multi, "regressed"},
+		{"cores differ, ns not compared", &ParallelReport{Cores: 4, SerialNsOp: 9000, ParallelNsOp: 5000, Speedup: 1.8}, multi, ""},
+		{"speedup collapse vs baseline", &ParallelReport{Cores: 8, SerialNsOp: 1800, ParallelNsOp: 1150, Speedup: 1.57}, multi, "80%"},
+		{"single-core run vs multi-core baseline", single, multi, ""},
+	}
+	for _, tc := range cases {
+		err := tc.report.Check(tc.baseline)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.wantErr)
+		}
+	}
+}

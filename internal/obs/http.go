@@ -41,8 +41,11 @@ func NewMux(r *Registry) *http.ServeMux {
 // Serve starts the introspection endpoint on addr (":0" picks a free
 // port) and returns the bound address and a shutdown func. The server
 // runs until the shutdown func is called; serving errors after shutdown
-// are ignored.
+// are ignored. The full metric catalog is pre-registered on r first, so
+// even the very first snapshot enumerates every series the process can
+// emit (all zeros until the corresponding code path runs).
 func Serve(addr string, r *Registry) (net.Addr, func() error, error) {
+	MustPreRegister(r)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, err

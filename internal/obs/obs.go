@@ -44,6 +44,11 @@ func L(key, value string) Label { return Label{Key: key, Value: value} }
 // nothing that could smuggle a payload.
 var nameRE = regexp.MustCompile(`^[a-z][a-z0-9_]{0,119}$`)
 
+// ValidName reports whether a metric name satisfies the naming contract.
+// It is the single source of truth for the charset — the privacy test and
+// the catalog test both call it instead of compiling their own regex.
+func ValidName(name string) bool { return nameRE.MatchString(name) }
+
 // Counter is a monotonically increasing atomic counter.
 type Counter struct{ v atomic.Int64 }
 
@@ -119,6 +124,13 @@ var TimeBuckets = []float64{
 // SizeBuckets is the default bucket layout for byte sizes: 64B..16MiB.
 var SizeBuckets = []float64{
 	64, 256, 1024, 4096, 16384, 65536, 262144, 1 << 20, 4 << 20, 16 << 20,
+}
+
+// CountBuckets is the default bucket layout for item counts (batch sizes,
+// candidate-set widths): 1..16384, log-spaced. δ' rarely exceeds a few
+// hundred; the headroom covers experiment sweeps.
+var CountBuckets = []float64{
+	1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384,
 }
 
 // Observe records one sample.

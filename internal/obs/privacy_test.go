@@ -28,13 +28,12 @@ func walkSnapshot(s *Snapshot, fn func(name string, labels map[string]string)) {
 // registry after a full soak run (TestMetricsEndpointSoak).
 func assertPrivacySafe(t *testing.T, s *Snapshot) {
 	t.Helper()
-	nameOK := regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
 	keys := make(map[string]bool)
 	for _, k := range LabelKeys() {
 		keys[k] = true
 	}
 	walkSnapshot(s, func(name string, labels map[string]string) {
-		if !nameOK.MatchString(name) {
+		if !ValidName(name) {
 			t.Errorf("metric name %q violates the naming contract", name)
 		}
 		for k, v := range labels {

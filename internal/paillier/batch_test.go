@@ -1,0 +1,449 @@
+package paillier
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/big"
+	mrand "math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"ppgnn/internal/parallel"
+)
+
+// batchPool is the parallel pool the determinism tests fan out on — wide
+// enough to exercise real concurrency even on a single-core runner.
+func batchPool() *parallel.Pool { return parallel.New(8) }
+
+func batchPlaintexts(k *PrivateKey, s, n int) []*big.Int {
+	ns := k.NS(s)
+	ms := make([]*big.Int, n)
+	for i := range ms {
+		m := big.NewInt(int64(i * i * 7919))
+		m.Mod(m, ns)
+		ms[i] = m
+	}
+	return ms
+}
+
+// TestEncryptBatchMatchesSerial pins the batch determinism contract: for
+// the same seeded reader, EncryptBatch at any worker count produces the
+// byte-identical ciphertexts of a serial Encrypt loop.
+func TestEncryptBatchMatchesSerial(t *testing.T) {
+	k := key(t)
+	for s := 1; s <= 2; s++ {
+		ms := batchPlaintexts(k, s, 9)
+
+		serial := make([]*Ciphertext, len(ms))
+		rng := mrand.New(mrand.NewSource(42))
+		for i, m := range ms {
+			c, err := k.Encrypt(rng, m, s)
+			if err != nil {
+				t.Fatalf("s=%d serial Encrypt: %v", s, err)
+			}
+			serial[i] = c
+		}
+
+		batch, err := k.EncryptBatch(context.Background(), batchPool(), mrand.New(mrand.NewSource(42)), ms, s)
+		if err != nil {
+			t.Fatalf("s=%d EncryptBatch: %v", s, err)
+		}
+		for i := range ms {
+			if !bytes.Equal(serial[i].Bytes(&k.PublicKey), batch[i].Bytes(&k.PublicKey)) {
+				t.Fatalf("s=%d element %d: batch ciphertext differs from serial", s, i)
+			}
+		}
+	}
+}
+
+// TestEncryptBatchRejectsBadPlaintext checks up-front validation: one
+// out-of-range element fails the whole batch before randomness is drawn.
+func TestEncryptBatchRejectsBadPlaintext(t *testing.T) {
+	k := key(t)
+	ms := []*big.Int{big.NewInt(1), new(big.Int).Set(k.NS(1)), big.NewInt(2)}
+	if _, err := k.EncryptBatch(context.Background(), batchPool(), nil, ms, 1); err == nil {
+		t.Fatal("out-of-range plaintext accepted")
+	}
+	if _, err := k.EncryptBatch(context.Background(), batchPool(), nil, []*big.Int{big.NewInt(1), nil}, 1); err == nil {
+		t.Fatal("nil plaintext accepted")
+	}
+}
+
+// TestDecryptBatchRoundTrip checks DecryptBatch and DecryptLayeredBatch
+// against the plaintexts across degrees and the OPT double layer.
+func TestDecryptBatchRoundTrip(t *testing.T) {
+	k := key(t)
+	ctx := context.Background()
+	for s := 1; s <= 2; s++ {
+		ms := batchPlaintexts(k, s, 7)
+		cts, err := k.EncryptBatch(ctx, batchPool(), nil, ms, s)
+		if err != nil {
+			t.Fatalf("EncryptBatch: %v", err)
+		}
+		got, err := k.DecryptBatch(ctx, batchPool(), cts)
+		if err != nil {
+			t.Fatalf("DecryptBatch: %v", err)
+		}
+		for i := range ms {
+			if got[i].Cmp(ms[i]) != 0 {
+				t.Fatalf("s=%d element %d: got %v, want %v", s, i, got[i], ms[i])
+			}
+		}
+	}
+
+	// Layered: ε_2(ε_1(m)) unwrapped twice, PPGNN-OPT's answer shape.
+	ms := batchPlaintexts(k, 1, 5)
+	inner, err := k.EncryptBatch(ctx, batchPool(), nil, ms, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	innerVals := make([]*big.Int, len(inner))
+	for i, c := range inner {
+		innerVals[i] = c.C
+	}
+	outer, err := k.EncryptBatch(ctx, batchPool(), nil, innerVals, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := k.DecryptLayeredBatch(ctx, batchPool(), outer, 2)
+	if err != nil {
+		t.Fatalf("DecryptLayeredBatch: %v", err)
+	}
+	for i := range ms {
+		if got[i].Cmp(ms[i]) != 0 {
+			t.Fatalf("layered element %d: got %v, want %v", i, got[i], ms[i])
+		}
+	}
+}
+
+// TestPrecomputerBatchMatchesSerial checks pooled-factor order: a batch
+// consumes the LIFO pool and then the reader exactly like a serial loop
+// of Precomputer.Encrypt calls, so outputs are byte-identical — including
+// across the pool-exhaustion boundary.
+func TestPrecomputerBatchMatchesSerial(t *testing.T) {
+	k := key(t)
+	ms := batchPlaintexts(k, 1, 8)
+	const fill = 5 // fewer factors than plaintexts: 5 pooled + 3 online
+
+	mkPre := func() *Precomputer {
+		pre, err := k.NewPrecomputer(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pre.Fill(mrand.New(mrand.NewSource(7)), fill); err != nil {
+			t.Fatal(err)
+		}
+		return pre
+	}
+
+	serialPre := mkPre()
+	rng := mrand.New(mrand.NewSource(13))
+	serial := make([]*Ciphertext, len(ms))
+	serialPooled := 0
+	for i, m := range ms {
+		c, fromPool, err := serialPre.Encrypt(rng, m)
+		if err != nil {
+			t.Fatalf("serial Encrypt: %v", err)
+		}
+		if fromPool {
+			serialPooled++
+		}
+		serial[i] = c
+	}
+
+	batchPre := mkPre()
+	batch, pooled, err := batchPre.EncryptBatch(context.Background(), batchPool(), mrand.New(mrand.NewSource(13)), ms)
+	if err != nil {
+		t.Fatalf("EncryptBatch: %v", err)
+	}
+	if pooled != serialPooled || pooled != fill {
+		t.Fatalf("pooled = %d, serial used %d, want %d", pooled, serialPooled, fill)
+	}
+	if batchPre.Size() != 0 {
+		t.Fatalf("pool not drained: %d left", batchPre.Size())
+	}
+	for i := range ms {
+		if !bytes.Equal(serial[i].Bytes(&k.PublicKey), batch[i].Bytes(&k.PublicKey)) {
+			t.Fatalf("element %d: batch ciphertext differs from serial", i)
+		}
+	}
+}
+
+// TestFillCtxDeterministic checks the pool contents are independent of
+// the worker count for a seeded reader.
+func TestFillCtxDeterministic(t *testing.T) {
+	k := key(t)
+	fillWith := func(pl *parallel.Pool) []*big.Int {
+		pre, err := k.NewPrecomputer(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pre.FillCtx(context.Background(), pl, mrand.New(mrand.NewSource(3)), 12); err != nil {
+			t.Fatal(err)
+		}
+		return pre.takeN(12)
+	}
+	serial, par := fillWith(parallel.New(1)), fillWith(parallel.New(8))
+	for i := range serial {
+		if serial[i].Cmp(par[i]) != 0 {
+			t.Fatalf("pool factor %d differs between 1 and 8 workers", i)
+		}
+	}
+}
+
+// TestDotAndMatSelectBatch checks the batch ⊙/⨂ against the serial ops.
+func TestDotAndMatSelectBatch(t *testing.T) {
+	k := key(t)
+	ctx := context.Background()
+	const d, m = 6, 5
+	vals := batchPlaintexts(k, 1, d)
+	v, err := k.EncryptBatch(ctx, batchPool(), nil, vals, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := make([][]*big.Int, m)
+	for i := range a {
+		row := make([]*big.Int, d)
+		for j := range row {
+			row[j] = big.NewInt(int64((i+1)*(j+2) % 17))
+		}
+		a[i] = row
+	}
+	want, err := k.MatSelect(a, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := k.MatSelectBatch(ctx, batchPool(), a, v)
+	if err != nil {
+		t.Fatalf("MatSelectBatch: %v", err)
+	}
+	for i := range want {
+		if want[i].C.Cmp(got[i].C) != 0 {
+			t.Fatalf("row %d: batch selection differs from serial", i)
+		}
+	}
+}
+
+// TestLayeredSelectBatch builds a tiny ω×cols OPT selection and checks
+// the batch result decrypts to the selected column, and matches the
+// serial two-phase computation element-wise.
+func TestLayeredSelectBatch(t *testing.T) {
+	k := key(t)
+	ctx := context.Background()
+	const omega, width, m = 2, 3, 4
+	sel := 4 // selected candidate index: block 1, column 1
+	selB, selC := sel/width, sel%width
+
+	cols := make([][]*big.Int, omega*width)
+	for t0 := range cols {
+		col := make([]*big.Int, m)
+		for i := range col {
+			col[i] = big.NewInt(int64(100*t0 + i + 1))
+		}
+		cols[t0] = col
+	}
+
+	mkIndicator := func(n, one, s int) []*Ciphertext {
+		ms := make([]*big.Int, n)
+		for i := range ms {
+			ms[i] = big.NewInt(0)
+		}
+		ms[one] = big.NewInt(1)
+		cts, err := k.EncryptBatch(ctx, batchPool(), nil, ms, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cts
+	}
+	v1 := mkIndicator(width, selC, 1)
+	v2 := mkIndicator(omega, selB, 2)
+
+	out, err := k.LayeredSelectBatch(ctx, batchPool(), cols, v1, v2)
+	if err != nil {
+		t.Fatalf("LayeredSelectBatch: %v", err)
+	}
+	if len(out) != m {
+		t.Fatalf("got %d rows, want %d", len(out), m)
+	}
+
+	// Serial reference: phase 1 per block, phase 2 across blocks.
+	for i := 0; i < m; i++ {
+		phase1 := make([]*big.Int, omega)
+		for b := 0; b < omega; b++ {
+			row := make([]*big.Int, width)
+			for c := 0; c < width; c++ {
+				row[c] = cols[b*width+c][i]
+			}
+			ct, err := k.DotProduct(row, v1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			phase1[b] = ct.C
+		}
+		want, err := k.DotProduct(phase1, v2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[i].C.Cmp(want.C) != 0 {
+			t.Fatalf("row %d: batch layered selection differs from serial", i)
+		}
+		// And the plaintext is the selected column's entry.
+		got, err := k.DecryptLayered(out[i], 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := cols[sel][i]; got.Cmp(want) != 0 {
+			t.Fatalf("row %d: selected %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestThresholdBatches checks PartialDecryptBatch + CombineBatch against
+// their serial counterparts end to end.
+func TestThresholdBatches(t *testing.T) {
+	tk, shares := thresholdKey(t)
+	ctx := context.Background()
+	ms := make([]*big.Int, 6)
+	for i := range ms {
+		ms[i] = big.NewInt(int64(1000 + i))
+	}
+	cts, err := tk.EncryptBatch(ctx, batchPool(), nil, ms, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sets := make([][]*DecryptionShare, len(cts))
+	for _, ks := range shares[:tk.T] {
+		dss, err := tk.PartialDecryptBatch(ctx, batchPool(), ks, cts)
+		if err != nil {
+			t.Fatalf("PartialDecryptBatch: %v", err)
+		}
+		// Cross-check one holder against the serial op.
+		ds0, err := tk.PartialDecrypt(ks, cts[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dss[0].Value.Cmp(ds0.Value) != 0 {
+			t.Fatal("batch partial decryption differs from serial")
+		}
+		for i, ds := range dss {
+			sets[i] = append(sets[i], ds)
+		}
+	}
+	got, err := tk.CombineBatch(ctx, batchPool(), sets)
+	if err != nil {
+		t.Fatalf("CombineBatch: %v", err)
+	}
+	for i := range ms {
+		if got[i].Cmp(ms[i]) != 0 {
+			t.Fatalf("element %d: got %v, want %v", i, got[i], ms[i])
+		}
+	}
+}
+
+// TestBatchHammer is the 64-goroutine -race hammer of the ISSUE: all
+// goroutines share one key and one Precomputer while running mixed batch
+// ops, so the locked caches (N^i, inverse factorials, CRT contexts, λ^{-1})
+// and the pool's LIFO stack all see real contention.
+func TestBatchHammer(t *testing.T) {
+	k := key(t)
+	pre, err := k.NewPrecomputer(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	pl := parallel.New(4)
+
+	const goroutines = 64
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			ms := batchPlaintexts(k, 1, 3)
+			switch g % 4 {
+			case 0:
+				if err := pre.FillCtx(ctx, pl, nil, 3); err != nil {
+					errs <- err
+				}
+			case 1:
+				if _, _, err := pre.EncryptBatch(ctx, pl, nil, ms); err != nil {
+					errs <- err
+				}
+			case 2:
+				cts, err := k.EncryptBatch(ctx, pl, nil, ms, 2)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, err := k.DecryptBatch(ctx, pl, cts); err != nil {
+					errs <- err
+				}
+			case 3:
+				cts, err := k.EncryptBatch(ctx, pl, nil, ms, 1)
+				if err != nil {
+					errs <- err
+					return
+				}
+				rows := [][]*big.Int{{big.NewInt(1), big.NewInt(2), big.NewInt(3)}}
+				if _, err := k.DotProductBatch(ctx, pl, rows, cts); err != nil {
+					errs <- err
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchCancellation cancels a batch mid-flight: the call must return
+// the context error promptly and leave no goroutines behind.
+func TestBatchCancellation(t *testing.T) {
+	k := key(t)
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ms := batchPlaintexts(k, 1, 64)
+	if _, err := k.EncryptBatch(ctx, parallel.New(4), nil, ms, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("EncryptBatch under canceled ctx: err = %v, want context.Canceled", err)
+	}
+
+	// Cancel while workers are decrypting a larger batch.
+	cts, err := k.EncryptBatch(context.Background(), parallel.New(4), nil, ms, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := k.DecryptBatch(ctx2, parallel.New(4), cts)
+		done <- err
+	}()
+	cancel2()
+	select {
+	case err := <-done:
+		// Either the cancel won the race, or the batch finished first —
+		// both are legal; a hang or a non-ctx failure is not.
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("DecryptBatch: err = %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("DecryptBatch did not return after cancel")
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+	}
+}

@@ -1,6 +1,7 @@
 package paillier
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/big"
@@ -30,24 +31,11 @@ func (pk *PublicKey) NewPrecomputer(s int) (*Precomputer, error) {
 }
 
 // Fill adds n randomness factors to the pool (the offline phase). random
-// defaults to crypto/rand.Reader when nil.
+// defaults to crypto/rand.Reader when nil. The r^{N^s} exponentiations
+// fan across the process-default worker pool; FillCtx takes an explicit
+// pool and context.
 func (p *Precomputer) Fill(random io.Reader, n int) error {
-	mod := p.pk.NS(p.s + 1)
-	ns := p.pk.NS(p.s)
-	fresh := make([]*big.Int, 0, n)
-	for i := 0; i < n; i++ {
-		r, err := p.pk.randomUnit(random)
-		if err != nil {
-			return fmt.Errorf("paillier: precomputing randomness: %w", err)
-		}
-		fresh = append(fresh, new(big.Int).Exp(r, ns, mod))
-	}
-	p.mu.Lock()
-	p.pool = append(p.pool, fresh...)
-	p.mu.Unlock()
-	mPoolFilled.Add(int64(len(fresh)))
-	mPoolDepth.Add(int64(len(fresh)))
-	return nil
+	return p.FillCtx(context.Background(), nil, random, n)
 }
 
 // Size returns the number of pooled factors.

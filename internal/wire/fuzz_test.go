@@ -1,0 +1,122 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame feeds arbitrary bytes to the frame decoder. A frame that
+// decodes must round-trip: re-encoding the decoded (type, payload) with
+// WriteFrame has to reproduce the consumed prefix byte for byte, and the
+// declared payload length may never exceed MaxFrameSize (the hostile
+// length-prefix guard).
+func FuzzReadFrame(f *testing.F) {
+	var w bytes.Buffer
+	if err := WriteFrame(&w, 3, []byte("payload")); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(w.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{1, 0xff, 0xff, 0xff, 0xff})       // length prefix over the limit
+	f.Add([]byte{2, 0, 0, 0, 9, 'x'})              // truncated payload
+	f.Add(append(w.Bytes(), w.Bytes()...))         // two back-to-back frames
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		msgType, payload, err := ReadFrame(r)
+		if err != nil {
+			return
+		}
+		if len(payload) > MaxFrameSize {
+			t.Fatalf("decoded payload of %d bytes above MaxFrameSize", len(payload))
+		}
+		var out bytes.Buffer
+		if err := WriteFrame(&out, msgType, payload); err != nil {
+			t.Fatalf("re-encoding decoded frame: %v", err)
+		}
+		consumed := len(data) - r.Len()
+		if !bytes.Equal(out.Bytes(), data[:consumed]) {
+			t.Fatalf("round-trip mismatch: read %x, rewrote %x", data[:consumed], out.Bytes())
+		}
+	})
+}
+
+// FuzzReader drives the Reader primitives over arbitrary input in a fixed
+// order. The contract under fuzz: no panic, no huge allocation from a
+// hostile length prefix, and once Err() is non-nil every subsequent read
+// returns a zero value without clearing the error.
+func FuzzReader(f *testing.F) {
+	var w Writer
+	w.Uvarint(42)
+	w.Uint32(7)
+	w.Float64(0.25)
+	w.Bool(true)
+	w.BytesField([]byte("abc"))
+	w.IntSlice([]int{1, 2, 3})
+	f.Add(w.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(data)
+		r.Uvarint()
+		r.Uint32()
+		r.Float64()
+		r.Bool()
+		b := r.BytesField()
+		if len(b) > len(data) {
+			t.Fatalf("BytesField returned %d bytes from %d-byte input", len(b), len(data))
+		}
+		vs := r.IntSlice()
+		if len(vs) > len(data) {
+			t.Fatalf("IntSlice returned %d elements from %d-byte input", len(vs), len(data))
+		}
+		cs := r.FixedBigIntSlice(16)
+		if len(cs)*16 > len(data) {
+			t.Fatalf("FixedBigIntSlice returned %d elements from %d-byte input", len(cs), len(data))
+		}
+		if r.Remaining() < 0 || r.Remaining() > len(data) {
+			t.Fatalf("Remaining()=%d outside [0,%d]", r.Remaining(), len(data))
+		}
+		if err := r.Err(); err != nil {
+			// Sticky-error contract: further reads stay zero and the error stays.
+			if got := r.Uvarint(); got != 0 {
+				t.Fatalf("read after error returned %d, want 0", got)
+			}
+			if r.Err() != err {
+				t.Fatalf("error changed after failed read: %v -> %v", err, r.Err())
+			}
+		}
+	})
+}
+
+// FuzzWriterReaderRoundTrip encodes fuzz-chosen values with Writer and
+// requires Reader to return them exactly with no bytes left over.
+func FuzzWriterReaderRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint32(0), false, []byte(nil))
+	f.Add(uint64(1<<40), uint32(9), true, []byte("hello"))
+	f.Fuzz(func(t *testing.T, u uint64, x uint32, b bool, blob []byte) {
+		var w Writer
+		w.Uvarint(u)
+		w.Uint32(x)
+		w.Bool(b)
+		w.BytesField(blob)
+		r := NewReader(w.Bytes())
+		if got := r.Uvarint(); got != u {
+			t.Fatalf("Uvarint: %d != %d", got, u)
+		}
+		if got := r.Uint32(); got != x {
+			t.Fatalf("Uint32: %d != %d", got, x)
+		}
+		if got := r.Bool(); got != b {
+			t.Fatalf("Bool: %v != %v", got, b)
+		}
+		if got := r.BytesField(); !bytes.Equal(got, blob) {
+			t.Fatalf("BytesField: %x != %x", got, blob)
+		}
+		if err := r.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if r.Remaining() != 0 {
+			t.Fatalf("%d bytes left over", r.Remaining())
+		}
+	})
+}
