@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench-gate bench-snapshot metrics-smoke clean
+.PHONY: all build vet test race fuzz bench-gate bench-kernel bench-snapshot metrics-smoke clean
 
 all: vet build test
 
@@ -22,7 +22,7 @@ race:
 # Short burst of every fuzz target (15s each by default; FUZZTIME=1m
 # for longer local runs).
 fuzz:
-	./scripts/fuzz-pass.sh ./internal/core ./internal/wire
+	./scripts/fuzz-pass.sh ./internal/core ./internal/wire ./internal/modmath
 
 # The CI benchmark-regression gate, runnable locally: the serial vs
 # parallel pipeline benchmarks, then the LSP query-phase speedup gate
@@ -33,6 +33,14 @@ bench-gate:
 	$(GO) test -run '^$$' -bench 'Paillier|LSP|Pipeline' -benchtime 1x -count 3 .
 	$(GO) run ./cmd/ppgnn-experiments -parallel-gate -gate-reps 3 \
 		-gate-baseline BENCH_parallel.json -gate-out BENCH_parallel.ci.json
+
+# The modular-exponentiation kernel gate: Straus multi-exp on vs off for
+# ⊙, ⨂, threshold combine, and one end-to-end δ'=101 query, with
+# byte-identical exact outputs enforced. Refresh the baseline by copying
+# BENCH_kernel.ci.json over BENCH_kernel.json on representative hardware.
+bench-kernel:
+	$(GO) run ./cmd/ppgnn-experiments -kernel-gate -gate-reps 3 \
+		-kernel-baseline BENCH_kernel.json -kernel-out BENCH_kernel.ci.json
 
 # Seeded n=5 t=3 faultnet soak; writes per-phase p50/p95, retry/dropout
 # counters, and the Precomputer hit rate to BENCH_obs.json (DESIGN.md §9).
@@ -45,4 +53,4 @@ metrics-smoke:
 	./scripts/metrics-smoke.sh
 
 clean:
-	rm -f BENCH_obs.json BENCH_parallel.ci.json
+	rm -f BENCH_obs.json BENCH_parallel.ci.json BENCH_kernel.ci.json

@@ -25,6 +25,14 @@
 //	-gate-out F      output file for -parallel-gate (default BENCH_parallel.json)
 //	-gate-baseline F committed baseline report to gate against (optional)
 //	-gate-reps N     repetitions per width, best-of (default 3)
+//	-kernel-gate     measure the homomorphic primitives (⊙, ⨂, threshold
+//	             combine) and one end-to-end query with the modmath kernel
+//	             on vs off on a single thread, assert byte-identical exact
+//	             outputs and plaintext-identical short-rand answers, and
+//	             write the report to -kernel-out; exits nonzero below the
+//	             CI floors or on regression against -kernel-baseline
+//	-kernel-out F      output file for -kernel-gate (default BENCH_kernel.json)
+//	-kernel-baseline F committed baseline report to gate against (optional)
 //
 // Absolute timings differ from the paper's C++/GMP testbed; the shapes
 // (who wins, growth rates, crossovers) are the reproduction target. See
@@ -56,6 +64,9 @@ func main() {
 	gateOut := flag.String("gate-out", "BENCH_parallel.json", "output file for -parallel-gate")
 	gateBaseline := flag.String("gate-baseline", "", "baseline report to gate -parallel-gate against (optional)")
 	gateReps := flag.Int("gate-reps", 3, "repetitions per width for -parallel-gate, best-of")
+	kernelGate := flag.Bool("kernel-gate", false, "time the homomorphic primitives with the modmath kernel on vs off and write the gate report")
+	kernelOut := flag.String("kernel-out", "BENCH_kernel.json", "output file for -kernel-gate")
+	kernelBaseline := flag.String("kernel-baseline", "", "baseline report to gate -kernel-gate against (optional)")
 	flag.Parse()
 
 	cfg := experiments.Config{
@@ -105,6 +116,52 @@ func main() {
 				time.Duration(baseline.SerialNsOp).Round(time.Microsecond),
 				time.Duration(baseline.ParallelNsOp).Round(time.Microsecond),
 				baseline.Speedup, baseline.Cores)
+		}
+		if err := report.Check(baseline); err != nil {
+			fatal(err)
+		}
+		fmt.Println("  gate: PASS")
+		return
+	}
+
+	if *kernelGate {
+		start := time.Now()
+		report, err := cfg.KernelGate(*gateReps)
+		if err != nil {
+			fatal(err)
+		}
+		b, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*kernelOut, append(b, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("kernel gate: keybits=%d δ'=%d cores=%d reps=%d short-rand=%d bits\n",
+			report.KeyBits, report.DeltaPrime, report.Cores, report.Reps, report.ShortRandBits)
+		micro := func(name string, m experiments.KernelMicro) {
+			fmt.Printf("  %-12s ref %v/op, kernel %v/op, speedup %.2fx\n", name,
+				time.Duration(m.RefNsOp).Round(time.Microsecond),
+				time.Duration(m.KernelNsOp).Round(time.Microsecond), m.Speedup)
+		}
+		micro("dot (⊙)", report.Dot)
+		micro("mat (⨂)", report.Mat)
+		micro("combine", report.Combine)
+		micro("end-to-end", report.E2E)
+		fmt.Printf("  exact outputs byte-identical, short-rand answer plaintext-identical, report in %s (%v)\n",
+			*kernelOut, time.Since(start).Round(time.Millisecond))
+		var baseline *experiments.KernelReport
+		if *kernelBaseline != "" {
+			raw, err := os.ReadFile(*kernelBaseline)
+			if err != nil {
+				fatal(err)
+			}
+			baseline = new(experiments.KernelReport)
+			if err := json.Unmarshal(raw, baseline); err != nil {
+				fatal(fmt.Errorf("parsing %s: %w", *kernelBaseline, err))
+			}
+			fmt.Printf("  baseline: ⊙ %.2fx, end-to-end %.2fx, cores=%d\n",
+				baseline.Dot.Speedup, baseline.E2E.Speedup, baseline.Cores)
 		}
 		if err := report.Check(baseline); err != nil {
 			fatal(err)

@@ -73,6 +73,7 @@ func main() {
 	memberTimeout := flag.Duration("member-timeout", 5*time.Second, "per-member exchange deadline for -quorum-t")
 	metricsAddr := flag.String("metrics-addr", "", "serve JSON metrics snapshot and pprof on this address (default off)")
 	workers := flag.Int("workers", 0, "worker-pool width for batch crypto and the in-process LSP (0 = all cores)")
+	shortRandBits := flag.Int("short-rand-bits", 0, "short-exponent encryption randomness width (0 = full-width, paper-faithful; changes the security assumption, see SECURITY.md)")
 	flag.Parse()
 
 	// 0 = GOMAXPROCS at the flag layer; the resolved width sizes the
@@ -102,6 +103,7 @@ func main() {
 	}
 	p.Theta0 = *theta0
 	p.KeyBits = *keybits
+	p.ShortRandBits = *shortRandBits
 	p.NoSanitize = *noSanitize
 	p.IncludeIDs = *ids
 	switch *agg {

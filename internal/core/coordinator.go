@@ -54,9 +54,14 @@ func NewCoordinator(p Params, loc geo.Point, rng *rand.Rand) (*Coordinator, erro
 		return nil, err
 	}
 	start := time.Now()
-	key, err := paillier.GenerateKey(nil, p.KeyBits)
+	key, err := paillier.GenerateKey(nil, c.Params.KeyBits)
 	if err != nil {
 		return nil, fmt.Errorf("core: generating key: %w", err)
+	}
+	if c.Params.ShortRandBits > 0 {
+		if err := key.SetOptions(paillier.Options{ShortRandBits: c.Params.ShortRandBits}); err != nil {
+			return nil, fmt.Errorf("core: enabling short-exponent randomness: %w", err)
+		}
 	}
 	c.Key = key
 	c.KeygenTime = time.Since(start)
@@ -84,6 +89,11 @@ func NewThresholdCoordinator(p Params, loc geo.Point, rng *rand.Rand, t int) (*C
 	tk, shares, err := paillier.GenerateThresholdKey(nil, p.KeyBits, p.N, t, sMax)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: threshold keygen: %w", err)
+	}
+	if c.Params.ShortRandBits > 0 {
+		if err := tk.SetOptions(paillier.Options{ShortRandBits: c.Params.ShortRandBits}); err != nil {
+			return nil, nil, fmt.Errorf("core: enabling short-exponent randomness: %w", err)
+		}
 	}
 	c.KeygenTime = time.Since(start)
 	c.TK = tk

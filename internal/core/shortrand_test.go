@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ppgnn/internal/cost"
+)
+
+// TestShortRandAnswersIdentical pins the Params.ShortRandBits contract:
+// the short-exponent randomness mode changes ciphertext randomness (and
+// the security assumption), never the decrypted answer. The same seeds
+// must yield the same POIs with the mode on and off, for both variants.
+func TestShortRandAnswersIdentical(t *testing.T) {
+	lsp := testLSP(2000)
+	for _, variant := range []Variant{VariantPPGNN, VariantOPT} {
+		run := func(bits int) []float64 {
+			rng := rand.New(rand.NewSource(17))
+			p := testParams(4, variant)
+			p.NoSanitize = true
+			p.ShortRandBits = bits
+			locs := randomLocations(rng, 4)
+			g, err := NewGroup(p, locs, rng)
+			if err != nil {
+				t.Fatalf("%v bits=%d: %v", variant, bits, err)
+			}
+			if got := g.Key.ShortRandBits(); got != bits {
+				t.Fatalf("%v: key ShortRandBits=%d, want %d", variant, got, bits)
+			}
+			var m cost.Meter
+			res, err := g.Run(LocalService{LSP: lsp, Meter: &m}, &m)
+			if err != nil {
+				t.Fatalf("%v bits=%d: %v", variant, bits, err)
+			}
+			out := make([]float64, 0, 2*len(res.Points))
+			for _, pt := range res.Points {
+				out = append(out, pt.X, pt.Y)
+			}
+			return out
+		}
+		full := run(0)
+		short := run(64)
+		if len(full) != len(short) {
+			t.Fatalf("%v: answer sizes differ: %d vs %d", variant, len(full), len(short))
+		}
+		for i := range full {
+			if full[i] != short[i] {
+				t.Fatalf("%v: answers diverge at coordinate %d", variant, i)
+			}
+		}
+	}
+}
+
+func TestShortRandParamsValidation(t *testing.T) {
+	for _, bits := range []int{8, -1, testKeyBits, testKeyBits + 64} {
+		p := testParams(2, VariantPPGNN)
+		p.ShortRandBits = bits
+		if err := p.Validate(); err == nil {
+			t.Errorf("ShortRandBits=%d accepted", bits)
+		}
+	}
+	p := testParams(2, VariantPPGNN)
+	p.ShortRandBits = 64
+	if err := p.Validate(); err != nil {
+		t.Errorf("ShortRandBits=64: %v", err)
+	}
+}

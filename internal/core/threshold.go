@@ -55,6 +55,11 @@ func NewThresholdGroup(p Params, locations []geo.Point, rng *rand.Rand, t int) (
 	if err != nil {
 		return nil, fmt.Errorf("core: threshold keygen: %w", err)
 	}
+	if p.ShortRandBits > 0 {
+		if err := tk.SetOptions(paillier.Options{ShortRandBits: p.ShortRandBits}); err != nil {
+			return nil, fmt.Errorf("core: enabling short-exponent randomness: %w", err)
+		}
+	}
 	keygen := time.Since(start)
 
 	// Build the underlying group, then point its indicator encryption at

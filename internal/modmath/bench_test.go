@@ -1,0 +1,84 @@
+package modmath
+
+import (
+	"math/big"
+	mrand "math/rand"
+	"testing"
+)
+
+// The kernel's reason to exist, in microbenchmark form: MultiExp vs the
+// per-term Exp loop at the protocol's characteristic shapes (δ'≈101
+// terms for a ⊙ dot product over the candidate indicator; a handful of
+// terms for a threshold combine), and FixedBase vs cold Exp at
+// short-exponent widths. The -kernel-gate experiment measures the same
+// contrast end to end and CI enforces its floor.
+
+func benchTerms(b *testing.B, bits, k, expBits int) (*Ctx, []*big.Int, []*big.Int) {
+	b.Helper()
+	rng := mrand.New(mrand.NewSource(7))
+	m := testModulus(b, bits)
+	ctx := MustCtx(m)
+	bound := new(big.Int).Lsh(big.NewInt(1), uint(expBits))
+	bases := make([]*big.Int, k)
+	exps := make([]*big.Int, k)
+	for i := range bases {
+		bases[i] = randBelow(rng, m)
+		exps[i] = randBelow(rng, bound)
+	}
+	return ctx, bases, exps
+}
+
+func benchMultiExp(b *testing.B, bits, k, expBits int, ref bool) {
+	ctx, bases, exps := benchTerms(b, bits, k, expBits)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if ref {
+			_, err = ctx.MultiExpRef(bases, exps)
+		} else {
+			_, err = ctx.MultiExp(bases, exps)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMultiExp101Kernel(b *testing.B) { benchMultiExp(b, 1024, 101, 512, false) }
+func BenchmarkMultiExp101Ref(b *testing.B)    { benchMultiExp(b, 1024, 101, 512, true) }
+func BenchmarkMultiExp8Kernel(b *testing.B)   { benchMultiExp(b, 1024, 8, 512, false) }
+func BenchmarkMultiExp8Ref(b *testing.B)      { benchMultiExp(b, 1024, 8, 512, true) }
+func BenchmarkMultiExp3Kernel(b *testing.B)   { benchMultiExp(b, 1024, 3, 1024, false) }
+func BenchmarkMultiExp3Ref(b *testing.B)      { benchMultiExp(b, 1024, 3, 1024, true) }
+
+func BenchmarkFixedBaseExp(b *testing.B) {
+	rng := mrand.New(mrand.NewSource(8))
+	m := testModulus(b, 1024)
+	ctx := MustCtx(m)
+	g := randBelow(rng, m)
+	f, err := ctx.NewFixedBase(g, 320)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := randBelow(rng, new(big.Int).Lsh(big.NewInt(1), 320))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Exp(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFixedBaseColdExp(b *testing.B) {
+	rng := mrand.New(mrand.NewSource(8))
+	m := testModulus(b, 1024)
+	ctx := MustCtx(m)
+	g := randBelow(rng, m)
+	// The cold path this replaces: full-width randomness r^{N^s} with a
+	// 512-bit exponent (N^s for a 512-bit N at s=1).
+	e := randBelow(rng, new(big.Int).Lsh(big.NewInt(1), 512))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.Exp(g, e)
+	}
+}

@@ -1,0 +1,241 @@
+package modmath
+
+import (
+	"crypto/rand"
+	"math/big"
+	mrand "math/rand"
+	"testing"
+)
+
+// testModulus returns an odd composite modulus of the given bit size,
+// built like a Paillier N² (two primes, squared) so the group structure
+// matches the kernel's production use.
+func testModulus(t testing.TB, bits int) *big.Int {
+	t.Helper()
+	p, err := rand.Prime(rand.Reader, bits/4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := rand.Prime(rand.Reader, bits/4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := new(big.Int).Mul(p, q)
+	return n.Mul(n, n)
+}
+
+func randBelow(rng *mrand.Rand, bound *big.Int) *big.Int {
+	b := make([]byte, (bound.BitLen()+7)/8)
+	rng.Read(b)
+	return new(big.Int).Mod(new(big.Int).SetBytes(b), bound)
+}
+
+func TestNewCtxRejectsBadModulus(t *testing.T) {
+	for _, m := range []*big.Int{nil, big.NewInt(0), big.NewInt(1), big.NewInt(-7)} {
+		if _, err := NewCtx(m); err == nil {
+			t.Errorf("NewCtx(%v) accepted an invalid modulus", m)
+		}
+	}
+	if _, err := NewCtx(big.NewInt(2)); err != nil {
+		t.Errorf("NewCtx(2): %v", err)
+	}
+}
+
+// TestMultiExpMatchesReference drives random widths, sizes, and sparsity
+// patterns through MultiExp and asserts byte-identity with the reference
+// Exp-product loop — the kernel's exactness contract.
+func TestMultiExpMatchesReference(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(1))
+	mods := []*big.Int{
+		big.NewInt(2), big.NewInt(3), big.NewInt(35),
+		testModulus(t, 256), testModulus(t, 512),
+	}
+	for _, m := range mods {
+		ctx := MustCtx(m)
+		for trial := 0; trial < 30; trial++ {
+			k := rng.Intn(12)
+			bases := make([]*big.Int, k)
+			exps := make([]*big.Int, k)
+			for i := range bases {
+				bases[i] = randBelow(rng, m)
+				switch rng.Intn(5) {
+				case 0:
+					exps[i] = new(big.Int) // zero exponent: skipped term
+				case 1:
+					exps[i] = big.NewInt(int64(rng.Intn(4))) // tiny
+				default:
+					exps[i] = randBelow(rng, m)
+				}
+				if rng.Intn(8) == 0 {
+					bases[i] = new(big.Int) // zero base
+				}
+			}
+			got, err := ctx.MultiExp(bases, exps)
+			if err != nil {
+				t.Fatalf("MultiExp: %v", err)
+			}
+			want, err := ctx.MultiExpRef(bases, exps)
+			if err != nil {
+				t.Fatalf("MultiExpRef: %v", err)
+			}
+			if got.Cmp(want) != 0 {
+				t.Fatalf("mod %v trial %d: MultiExp=%v want %v (bases=%v exps=%v)",
+					m, trial, got, want, bases, exps)
+			}
+		}
+	}
+}
+
+func TestMultiExpEdgeCases(t *testing.T) {
+	ctx := MustCtx(big.NewInt(1000003))
+	// Empty product is 1.
+	got, err := ctx.MultiExp(nil, nil)
+	if err != nil || got.Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("empty MultiExp = %v, %v; want 1", got, err)
+	}
+	// Length mismatch, nil elements, negative exponents all error.
+	if _, err := ctx.MultiExp([]*big.Int{big.NewInt(2)}, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := ctx.MultiExp([]*big.Int{nil}, []*big.Int{big.NewInt(1)}); err == nil {
+		t.Error("nil base accepted")
+	}
+	if _, err := ctx.MultiExp([]*big.Int{big.NewInt(2)}, []*big.Int{big.NewInt(-1)}); err == nil {
+		t.Error("negative exponent accepted")
+	}
+	// Single term delegates to Exp and matches it.
+	b, e := big.NewInt(123456), big.NewInt(789)
+	got, err = ctx.MultiExp([]*big.Int{b}, []*big.Int{e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ctx.Exp(b, e); got.Cmp(want) != 0 {
+		t.Fatalf("single-term MultiExp = %v, want %v", got, want)
+	}
+}
+
+func TestFixedBaseMatchesExp(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(2))
+	m := testModulus(t, 512)
+	ctx := MustCtx(m)
+	g := randBelow(rng, m)
+	const maxBits = 160
+	f, err := ctx.NewFixedBase(g, maxBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := new(big.Int).Lsh(big.NewInt(1), maxBits)
+	for trial := 0; trial < 50; trial++ {
+		var e *big.Int
+		switch trial {
+		case 0:
+			e = new(big.Int) // zero exponent
+		case 1:
+			e = big.NewInt(1)
+		case 2:
+			e = new(big.Int).Sub(bound, big.NewInt(1)) // max in-table
+		case 3:
+			e = new(big.Int).Lsh(big.NewInt(1), maxBits+13) // over-width: fallback
+		default:
+			e = randBelow(rng, bound)
+		}
+		got, err := f.Exp(e)
+		if err != nil {
+			t.Fatalf("FixedBase.Exp(%v): %v", e, err)
+		}
+		if want := ctx.Exp(g, e); got.Cmp(want) != 0 {
+			t.Fatalf("trial %d: FixedBase.Exp = %v, want %v", trial, got, want)
+		}
+	}
+	if _, err := f.Exp(big.NewInt(-1)); err == nil {
+		t.Error("negative exponent accepted")
+	}
+	if _, err := f.Exp(nil); err == nil {
+		t.Error("nil exponent accepted")
+	}
+}
+
+func TestFixedBaseRejectsBadInputs(t *testing.T) {
+	ctx := MustCtx(big.NewInt(97))
+	if _, err := ctx.NewFixedBase(nil, 10); err == nil {
+		t.Error("nil base accepted")
+	}
+	if _, err := ctx.NewFixedBase(big.NewInt(3), 0); err == nil {
+		t.Error("zero maxBits accepted")
+	}
+}
+
+func TestSlideWindowsReconstructs(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		e := randBelow(rng, new(big.Int).Lsh(big.NewInt(1), uint(1+rng.Intn(300))))
+		if e.Sign() == 0 {
+			continue
+		}
+		w := uint(2 + rng.Intn(5))
+		wins := slideWindows(e, w, nil)
+		sum := new(big.Int)
+		for _, win := range wins {
+			if win.val%2 == 0 {
+				t.Fatalf("even window value %d", win.val)
+			}
+			if win.val>>(w) != 0 {
+				t.Fatalf("window value %d wider than %d bits", win.val, w)
+			}
+			term := new(big.Int).Lsh(big.NewInt(int64(win.val)), uint(win.pos))
+			sum.Add(sum, term)
+		}
+		if sum.Cmp(e) != 0 {
+			t.Fatalf("windows reconstruct %v, want %v (w=%d)", sum, e, w)
+		}
+	}
+}
+
+// FuzzMultiExp cross-checks MultiExp against the reference Exp-product
+// loop on fuzz-chosen moduli, bases, and exponents (satellite: wired
+// into scripts/fuzz-pass.sh and the CI fuzz job).
+func FuzzMultiExp(f *testing.F) {
+	f.Add([]byte{7}, []byte{2, 3, 5, 8}, 2)
+	f.Add([]byte{255, 255}, []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, 4)
+	f.Add([]byte{0}, []byte{}, 0)
+	f.Fuzz(func(t *testing.T, modBytes, data []byte, k int) {
+		m := new(big.Int).SetBytes(modBytes)
+		if m.Cmp(big.NewInt(2)) < 0 || m.BitLen() > 512 {
+			t.Skip()
+		}
+		if k < 0 || k > 16 {
+			t.Skip()
+		}
+		ctx := MustCtx(m)
+		// Split data into 2k chunks: alternating base and exponent bytes.
+		bases := make([]*big.Int, k)
+		exps := make([]*big.Int, k)
+		chunk := func(i int) []byte {
+			if len(data) == 0 || k == 0 {
+				return nil
+			}
+			sz := len(data)/(2*k) + 1
+			lo := (i * sz) % len(data)
+			hi := lo + sz
+			if hi > len(data) {
+				hi = len(data)
+			}
+			return data[lo:hi]
+		}
+		for i := 0; i < k; i++ {
+			bases[i] = new(big.Int).SetBytes(chunk(2 * i))
+			exps[i] = new(big.Int).SetBytes(chunk(2*i + 1))
+		}
+		got, err := ctx.MultiExp(bases, exps)
+		if err != nil {
+			t.Fatalf("MultiExp: %v", err)
+		}
+		want, err := ctx.MultiExpRef(bases, exps)
+		if err != nil {
+			t.Fatalf("MultiExpRef: %v", err)
+		}
+		if got.Cmp(want) != 0 {
+			t.Fatalf("MultiExp=%v want %v (m=%v bases=%v exps=%v)", got, want, m, bases, exps)
+		}
+	})
+}

@@ -108,6 +108,14 @@ func catalog() []catalogEntry {
 		{kindGauge, "parallel_pool_depth", nil, nil},
 		{kindHistogram, "parallel_task_seconds", TimeBuckets, nil},
 		{kindHistogram, "parallel_batch_size", CountBuckets, nil},
+
+		// modmath exponentiation kernel (DESIGN.md §11): table builds by
+		// family, fixed-base table hit/miss, and the live width of every
+		// multi-exponentiation.
+		{kindCounter, "modmath_table_builds_total", nil, allOf("table")},
+		{kindHistogram, "modmath_table_build_seconds", TimeBuckets, allOf("table")},
+		{kindCounter, "modmath_fixed_base_total", nil, allOf("result")},
+		{kindHistogram, "modmath_multiexp_width", CountBuckets, nil},
 	}
 }
 

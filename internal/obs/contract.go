@@ -60,6 +60,11 @@ var labelEnums = map[string]map[string]bool{
 	"dir": enum("rx", "tx"),
 	// kind: which round family a group-session round belongs to.
 	"kind": enum("collect", "decrypt"),
+	// table: which modmath precomputed-table family was built (§11):
+	// per-call Straus odd-power tables vs long-lived fixed-base tables.
+	"table": enum("window", "fixed_base"),
+	// result: whether a fixed-base exponentiation used its table.
+	"result": enum("hit", "miss"),
 }
 
 func enum(vs ...string) map[string]bool {

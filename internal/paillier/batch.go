@@ -54,10 +54,12 @@ func (pk *PublicKey) EncryptBatch(ctx context.Context, pl *parallel.Pool, random
 			return nil, fmt.Errorf("paillier: plaintext %d out of range [0, N^%d)", i, s)
 		}
 	}
-	// Serial randomness, then parallel exponentiation.
+	// Serial randomness, then parallel exponentiation. The mode is
+	// loaded once so every draw and factor of this batch agrees.
+	sr := pk.shortRand.Load()
 	rs := make([]*big.Int, len(ms))
 	for i := range ms {
-		r, err := pk.randomUnit(random)
+		r, err := pk.drawEncRand(random, sr)
 		if err != nil {
 			return nil, fmt.Errorf("paillier: drawing randomness: %w", err)
 		}
@@ -66,7 +68,7 @@ func (pk *PublicKey) EncryptBatch(ctx context.Context, pl *parallel.Pool, random
 	pk.warmEnc(s)
 	out := make([]*Ciphertext, len(ms))
 	err := pl.ForEach(ctx, len(ms), func(i int) error {
-		out[i] = pk.encryptWithR(ms[i], rs[i], s)
+		out[i] = pk.encryptWith(ms[i], rs[i], sr, s)
 		return nil
 	})
 	if err != nil {
@@ -75,29 +77,22 @@ func (pk *PublicKey) EncryptBatch(ctx context.Context, pl *parallel.Pool, random
 	return out, nil
 }
 
-// encryptWithR is Encrypt with the unit r already drawn: (1+N)^m · r^{N^s}.
-func (pk *PublicKey) encryptWithR(m, r *big.Int, s int) *Ciphertext {
-	mod := pk.NS(s + 1)
-	c := pk.onePlusNExp(m, s)
-	rs := new(big.Int).Exp(r, pk.NS(s), mod)
-	c.Mul(c, rs)
-	c.Mod(c, mod)
-	countEnc(s)
-	return &Ciphertext{C: c, S: s}
-}
-
-// warmEnc materializes the locked caches an ε_s encryption reads (N^i and
-// the inverse factorials), so fanned-out workers hit read paths instead of
-// serializing on first-use population.
+// warmEnc materializes the caches an ε_s encryption reads (the kernel
+// contexts for N^i, the inverse factorials, and the short-rand
+// fixed-base table when that mode is on), so fanned-out workers hit
+// lock-free read paths instead of serializing on first-use population.
 func (pk *PublicKey) warmEnc(s int) {
 	pk.NS(s + 1)
 	pk.invFactorial(s)
+	if sr := pk.shortRand.Load(); sr != nil {
+		sr.table(pk, s)
+	}
 }
 
 // RerandomizeBatch re-randomizes every ciphertext in parallel, consuming
 // the reader exactly like a serial Rerandomize loop.
 func (pk *PublicKey) RerandomizeBatch(ctx context.Context, pl *parallel.Pool, random io.Reader, cs []*Ciphertext) ([]*Ciphertext, error) {
-	maxS := 0
+	var degrees [MaxS + 1]bool
 	for i, c := range cs {
 		if c == nil {
 			return nil, fmt.Errorf("paillier: ciphertext %d: %w", i, errNilElement)
@@ -105,23 +100,26 @@ func (pk *PublicKey) RerandomizeBatch(ctx context.Context, pl *parallel.Pool, ra
 		if c.S < 1 || c.S > MaxS {
 			return nil, fmt.Errorf("paillier: ciphertext %d degree %d out of range", i, c.S)
 		}
-		if c.S > maxS {
-			maxS = c.S
-		}
+		degrees[c.S] = true
 	}
+	sr := pk.shortRand.Load()
 	rs := make([]*big.Int, len(cs))
 	for i := range cs {
-		r, err := pk.randomUnit(random)
+		r, err := pk.drawEncRand(random, sr)
 		if err != nil {
 			return nil, fmt.Errorf("paillier: drawing randomness: %w", err)
 		}
 		rs[i] = r
 	}
-	pk.warmEnc(maxS)
+	for s, present := range degrees {
+		if present {
+			pk.warmEnc(s)
+		}
+	}
 	zero := new(big.Int)
 	out := make([]*Ciphertext, len(cs))
 	err := pl.ForEach(ctx, len(cs), func(i int) error {
-		z := pk.encryptWithR(zero, rs[i], cs[i].S)
+		z := pk.encryptWith(zero, rs[i], sr, cs[i].S)
 		mRerandomize.Inc()
 		ct, err := pk.Add(cs[i], z)
 		if err != nil {
@@ -369,9 +367,10 @@ func (p *Precomputer) EncryptBatch(ctx context.Context, pl *parallel.Pool, rando
 		}
 	}
 	pooled := p.takeN(len(ms))
+	sr := p.pk.shortRand.Load()
 	online := make([]*big.Int, 0, len(ms)-len(pooled))
 	for range ms[len(pooled):] {
-		r, err := p.pk.randomUnit(random)
+		r, err := p.pk.drawEncRand(random, sr)
 		if err != nil {
 			// The popped factors are dropped, never reused: losing pooled
 			// randomness is safe, reusing it would break semantic security.
@@ -393,7 +392,7 @@ func (p *Precomputer) EncryptBatch(ctx context.Context, pl *parallel.Pool, rando
 			return nil
 		}
 		mEncOnline.Inc()
-		out[i] = p.pk.encryptWithR(ms[i], online[i-len(pooled)], p.s)
+		out[i] = p.pk.encryptWith(ms[i], online[i-len(pooled)], sr, p.s)
 		return nil
 	})
 	if err != nil {
@@ -402,28 +401,30 @@ func (p *Precomputer) EncryptBatch(ctx context.Context, pl *parallel.Pool, rando
 	return out, len(pooled), nil
 }
 
-// FillCtx adds n randomness factors to the pool, fanning the r^{N^s}
+// FillCtx adds n randomness factors to the pool, fanning the factor
 // exponentiations — the entire cost of the offline phase — across the
-// pool's workers. Unit draws stay serial, so the pool contents for a
-// seeded reader are independent of the worker count.
+// pool's workers. Draws stay serial, so the pool contents for a seeded
+// reader are independent of the worker count. In short-rand mode the
+// factors are table-backed (h^{N^s})^x values; either way the pooled
+// value is a complete r^{N^s} mod N^{s+1} factor.
 func (p *Precomputer) FillCtx(ctx context.Context, pl *parallel.Pool, random io.Reader, n int) error {
 	if n <= 0 {
 		return nil
 	}
-	mod := p.pk.NS(p.s + 1)
-	ns := p.pk.NS(p.s)
-	units := make([]*big.Int, n)
-	for i := range units {
-		r, err := p.pk.randomUnit(random)
+	sr := p.pk.shortRand.Load()
+	rs := make([]*big.Int, n)
+	for i := range rs {
+		r, err := p.pk.drawEncRand(random, sr)
 		if err != nil {
 			return fmt.Errorf("paillier: precomputing randomness: %w", err)
 		}
-		units[i] = r
+		rs[i] = r
 	}
+	p.pk.warmEnc(p.s)
 	fresh := make([]*big.Int, n)
 	err := pl.MapChunked(ctx, n, 1, func(lo, hi int) error {
 		for i := lo; i < hi; i++ {
-			fresh[i] = new(big.Int).Exp(units[i], ns, mod)
+			fresh[i] = p.pk.encFactor(rs[i], sr, p.s)
 		}
 		return nil
 	})

@@ -208,7 +208,7 @@ func TestDotAndMatSelectBatch(t *testing.T) {
 	for i := range a {
 		row := make([]*big.Int, d)
 		for j := range row {
-			row[j] = big.NewInt(int64((i+1)*(j+2) % 17))
+			row[j] = big.NewInt(int64((i + 1) * (j + 2) % 17))
 		}
 		a[i] = row
 	}

@@ -2,6 +2,8 @@ package paillier
 
 import (
 	"math/big"
+
+	"ppgnn/internal/modmath"
 )
 
 // CRT acceleration: the dominant cost of Damgård–Jurik decryption is the
@@ -10,11 +12,13 @@ import (
 // recombine — two half-width exponentiations instead of one full-width
 // one, roughly halving decryption time (see BenchmarkDecrypt in the tests).
 
-// crtCtx caches the per-degree CRT moduli and recombination coefficient.
+// crtCtx caches the per-degree CRT moduli (as kernel contexts, so the
+// half-width exponentiations share the same cached-modulus machinery as
+// every other hot path) and the recombination coefficient.
 type crtCtx struct {
-	pPow *big.Int // p^{s+1}
-	qPow *big.Int // q^{s+1}
-	coef *big.Int // (p^{s+1})^{-1} mod q^{s+1}
+	pCtx *modmath.Ctx // modulus p^{s+1}
+	qCtx *modmath.Ctx // modulus q^{s+1}
+	coef *big.Int     // (p^{s+1})^{-1} mod q^{s+1}
 }
 
 // crt returns the CRT context for degree s, cached on the key.
@@ -31,7 +35,11 @@ func (sk *PrivateKey) crt(s int) *crtCtx {
 		if coef == nil {
 			panic("paillier: p^{s+1} not invertible mod q^{s+1}")
 		}
-		sk.crtCtxs[s] = &crtCtx{pPow: pPow, qPow: qPow, coef: coef}
+		sk.crtCtxs[s] = &crtCtx{
+			pCtx: modmath.MustCtx(pPow),
+			qCtx: modmath.MustCtx(qPow),
+			coef: coef,
+		}
 	}
 	return sk.crtCtxs[s]
 }
@@ -39,14 +47,15 @@ func (sk *PrivateKey) crt(s int) *crtCtx {
 // expLambdaCRT computes c^λ mod N^{s+1} via the factorization.
 func (sk *PrivateKey) expLambdaCRT(c *big.Int, s int) *big.Int {
 	ctx := sk.crt(s)
-	up := new(big.Int).Exp(new(big.Int).Mod(c, ctx.pPow), sk.lambda, ctx.pPow)
-	uq := new(big.Int).Exp(new(big.Int).Mod(c, ctx.qPow), sk.lambda, ctx.qPow)
+	pPow, qPow := ctx.pCtx.M, ctx.qCtx.M
+	up := ctx.pCtx.Exp(new(big.Int).Mod(c, pPow), sk.lambda)
+	uq := ctx.qCtx.Exp(new(big.Int).Mod(c, qPow), sk.lambda)
 	// u = up + p^{s+1} · ((uq − up) · coef mod q^{s+1})
 	t := new(big.Int).Sub(uq, up)
-	t.Mod(t, ctx.qPow)
+	t.Mod(t, qPow)
 	t.Mul(t, ctx.coef)
-	t.Mod(t, ctx.qPow)
-	t.Mul(t, ctx.pPow)
+	t.Mod(t, qPow)
+	t.Mul(t, pPow)
 	t.Add(t, up)
 	return t
 }

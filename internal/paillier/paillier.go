@@ -29,7 +29,10 @@ import (
 	"io"
 	"math/big"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"ppgnn/internal/modmath"
 )
 
 var one = big.NewInt(1)
@@ -37,6 +40,24 @@ var one = big.NewInt(1)
 // MaxS is the largest ciphertext degree supported. PPGNN needs s ≤ 2; a few
 // more are supported so the generalized scheme is usable on its own.
 const MaxS = 8
+
+// kernelDisabled gates the modmath fast paths (MultiExp in ⊙/⨂ and the
+// threshold combine). It exists for the -kernel-gate experiment and the
+// kernel-equivalence tests, which measure and pin the kernel against the
+// reference loops; production code never flips it. Both paths return
+// byte-identical results.
+var kernelDisabled atomic.Bool
+
+// SetKernel enables (true, the default) or disables the modmath
+// multi-exponentiation fast paths, returning the previous setting. Only
+// benchmarks and equivalence tests should call this; flipping it while
+// operations are in flight is safe (it is one atomic) but makes timings
+// meaningless.
+func SetKernel(on bool) (prev bool) {
+	return !kernelDisabled.Swap(!on)
+}
+
+func kernelOn() bool { return !kernelDisabled.Load() }
 
 // PublicKey holds the public modulus N and cached powers of N used by the
 // homomorphic operations.
@@ -46,6 +67,13 @@ type PublicKey struct {
 	mu     sync.Mutex
 	npow   []*big.Int // npow[i] = N^i, npow[0] = 1
 	invfac []*big.Int // invfac[i] = (i!)^{-1} mod N^{MaxS+1}
+
+	// ctxs[s] is the kernel context for modulus N^s, built once per key
+	// and read lock-free on every operation (NS and Ctx fast paths).
+	ctxs [MaxS + 2]atomic.Pointer[modmath.Ctx]
+	// shortRand, when non-nil, holds the Options.ShortRandBits state:
+	// the fixed base h and its per-degree power tables.
+	shortRand atomic.Pointer[shortRandState]
 }
 
 // PrivateKey holds the factorization-derived trapdoor.
@@ -118,14 +146,36 @@ func NewPublicKey(n *big.Int) *PublicKey {
 	return &PublicKey{N: new(big.Int).Set(n)}
 }
 
-// NS returns N^s. It panics if s is out of range.
+// NS returns N^s. It panics if s is out of range. After the first call
+// for a given s the lookup is lock- and allocation-free (one atomic
+// load off the kernel context — TestNSLookupZeroAllocs pins this), so
+// hot paths can call it per operation instead of caching the modulus
+// themselves.
 func (pk *PublicKey) NS(s int) *big.Int {
-	if s < 0 || s > MaxS+1 {
+	if s == 0 {
+		return one
+	}
+	return pk.Ctx(s).M
+}
+
+// Ctx returns the modmath kernel context for modulus N^s (s ≥ 1),
+// built once per key and shared by every operation on that modulus.
+func (pk *PublicKey) Ctx(s int) *modmath.Ctx {
+	if s < 1 || s > MaxS+1 {
 		panic(fmt.Sprintf("paillier: N^%d out of supported range", s))
 	}
+	if ctx := pk.ctxs[s].Load(); ctx != nil {
+		return ctx
+	}
 	pk.mu.Lock()
-	defer pk.mu.Unlock()
-	return pk.nsLocked(s)
+	m := pk.nsLocked(s)
+	pk.mu.Unlock()
+	ctx := modmath.MustCtx(m)
+	// First writer wins so all callers share one context.
+	if !pk.ctxs[s].CompareAndSwap(nil, ctx) {
+		ctx = pk.ctxs[s].Load()
+	}
+	return ctx
 }
 
 func (pk *PublicKey) nsLocked(s int) *big.Int {
@@ -205,6 +255,134 @@ func (pk *PublicKey) randomUnit(random io.Reader) (*big.Int, error) {
 	}
 }
 
+// Options tunes performance/assumption trade-offs of a public key.
+// The zero value is the paper-faithful configuration.
+type Options struct {
+	// ShortRandBits, when > 0, switches encryption randomness from a
+	// full-width unit r ∈ Z*_N to r = h^x for a per-key fixed base h
+	// and a uniform short exponent x of this many bits, in the style of
+	// Damgård–Jurik–Nielsen: h = −u² mod N for a random unit u, and the
+	// ciphertext randomness factor (h^{N^s})^x is computed from a
+	// precomputed fixed-base table instead of a full-width
+	// exponentiation. Decryption is unchanged and yields the identical
+	// plaintext; what changes is the *assumption* — semantic security
+	// now additionally rests on the indistinguishability of h^x with
+	// short x from a uniform 2N-th residue (a short-exponent
+	// discrete-log assumption). That is why it ships default-off; see
+	// SECURITY.md. Use at least twice the target security level
+	// (≥ 224 bits) in deployment.
+	ShortRandBits int
+	// Rand is the entropy source for deriving the fixed base h
+	// (nil = crypto/rand.Reader). Only used when ShortRandBits > 0.
+	Rand io.Reader
+}
+
+// shortRandState is the realized ShortRandBits configuration: the fixed
+// base h and lazily built per-degree fixed-base tables for h^{N^s}.
+type shortRandState struct {
+	bits  int
+	bound *big.Int // 2^bits, the exclusive upper bound for x
+	h     *big.Int // −u² mod N
+
+	mu  sync.Mutex
+	fbs [MaxS + 1]atomic.Pointer[modmath.FixedBase]
+}
+
+// SetOptions applies o to the key. ShortRandBits > 0 enables the
+// short-exponent randomness mode for every later encryption under this
+// key; 0 restores the default full-width randomness. Do not call
+// concurrently with encryptions whose randomness mode must match a
+// replay — the switch is atomic but un-ordered relative to in-flight
+// operations.
+func (pk *PublicKey) SetOptions(o Options) error {
+	if o.ShortRandBits == 0 {
+		pk.shortRand.Store(nil)
+		return nil
+	}
+	if o.ShortRandBits < 16 {
+		return fmt.Errorf("paillier: ShortRandBits=%d too small (minimum 16; ≥224 recommended)", o.ShortRandBits)
+	}
+	if o.ShortRandBits >= pk.N.BitLen() {
+		return fmt.Errorf("paillier: ShortRandBits=%d is not short for a %d-bit modulus", o.ShortRandBits, pk.N.BitLen())
+	}
+	u, err := pk.randomUnit(o.Rand)
+	if err != nil {
+		return fmt.Errorf("paillier: deriving short-rand base: %w", err)
+	}
+	h := new(big.Int).Mul(u, u)
+	h.Mod(h, pk.N)
+	h.Sub(pk.N, h) // −u² mod N
+	sr := &shortRandState{
+		bits:  o.ShortRandBits,
+		bound: new(big.Int).Lsh(one, uint(o.ShortRandBits)),
+		h:     h,
+	}
+	pk.shortRand.Store(sr)
+	return nil
+}
+
+// ShortRandBits reports the active short-exponent width (0 = full-width
+// randomness).
+func (pk *PublicKey) ShortRandBits() int {
+	if sr := pk.shortRand.Load(); sr != nil {
+		return sr.bits
+	}
+	return 0
+}
+
+// table returns the fixed-base table for h^{N^s} mod N^{s+1}, built on
+// first use per degree (a kernel table-build in the obs metrics) and
+// lock-free afterwards.
+func (sr *shortRandState) table(pk *PublicKey, s int) *modmath.FixedBase {
+	if f := sr.fbs[s].Load(); f != nil {
+		return f
+	}
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	if f := sr.fbs[s].Load(); f != nil {
+		return f
+	}
+	ctx := pk.Ctx(s + 1)
+	g := ctx.Exp(sr.h, pk.NS(s))
+	f, err := ctx.NewFixedBase(g, sr.bits)
+	if err != nil {
+		// Unreachable for a well-formed state: bits ≥ 16, g ∈ [0, N^{s+1}).
+		panic(fmt.Sprintf("paillier: building short-rand table: %v", err))
+	}
+	sr.fbs[s].Store(f)
+	return f
+}
+
+// drawEncRand draws one encryption-randomness value for the mode sr
+// (nil = full-width): a unit r ∈ Z*_N, or a short exponent x < 2^bits.
+// Batch paths draw serially in index order with the mode loaded once,
+// so seeded readers are consumed exactly like the serial loop.
+func (pk *PublicKey) drawEncRand(random io.Reader, sr *shortRandState) (*big.Int, error) {
+	if sr == nil {
+		return pk.randomUnit(random)
+	}
+	if random == nil {
+		random = rand.Reader
+	}
+	return rand.Int(random, sr.bound)
+}
+
+// encFactor turns a drawn randomness value into the ciphertext factor:
+// r^{N^s} mod N^{s+1} full-width, or the table-backed (h^{N^s})^x in
+// short-rand mode. Safe for concurrent use once warmEnc has built the
+// needed tables.
+func (pk *PublicKey) encFactor(rv *big.Int, sr *shortRandState, s int) *big.Int {
+	if sr == nil {
+		return pk.Ctx(s+1).Exp(rv, pk.NS(s))
+	}
+	f, err := sr.table(pk, s).Exp(rv)
+	if err != nil {
+		// Unreachable: drawEncRand only returns values in [0, 2^bits).
+		panic(fmt.Sprintf("paillier: short-rand factor: %v", err))
+	}
+	return f
+}
+
 // Encrypt encrypts m under ε_s. m must lie in [0, N^s). random defaults to
 // crypto/rand.Reader when nil.
 func (pk *PublicKey) Encrypt(random io.Reader, m *big.Int, s int) (*Ciphertext, error) {
@@ -214,17 +392,23 @@ func (pk *PublicKey) Encrypt(random io.Reader, m *big.Int, s int) (*Ciphertext, 
 	if m.Sign() < 0 || m.Cmp(pk.NS(s)) >= 0 {
 		return nil, fmt.Errorf("paillier: plaintext out of range [0, N^%d)", s)
 	}
-	r, err := pk.randomUnit(random)
+	sr := pk.shortRand.Load()
+	rv, err := pk.drawEncRand(random, sr)
 	if err != nil {
 		return nil, fmt.Errorf("paillier: drawing randomness: %w", err)
 	}
+	return pk.encryptWith(m, rv, sr, s), nil
+}
+
+// encryptWith assembles (1+N)^m · factor(rv) mod N^{s+1} with the
+// randomness already drawn.
+func (pk *PublicKey) encryptWith(m, rv *big.Int, sr *shortRandState, s int) *Ciphertext {
 	mod := pk.NS(s + 1)
 	c := pk.onePlusNExp(m, s)
-	rs := new(big.Int).Exp(r, pk.NS(s), mod)
-	c.Mul(c, rs)
+	c.Mul(c, pk.encFactor(rv, sr, s))
 	c.Mod(c, mod)
 	countEnc(s)
-	return &Ciphertext{C: c, S: s}, nil
+	return &Ciphertext{C: c, S: s}
 }
 
 // EncryptInt64 is a convenience wrapper around Encrypt for small plaintexts.
@@ -259,12 +443,11 @@ func (pk *PublicKey) Add(c1, c2 *Ciphertext) (*Ciphertext, error) {
 // MulPlain implements ⊗: the returned ciphertext encrypts x·m (mod N^s)
 // where m is c's plaintext. Negative x is reduced mod N^s.
 func (pk *PublicKey) MulPlain(x *big.Int, c *Ciphertext) *Ciphertext {
-	mod := pk.NS(c.S + 1)
 	e := x
 	if x.Sign() < 0 {
 		e = new(big.Int).Mod(x, pk.NS(c.S))
 	}
-	res := new(big.Int).Exp(c.C, e, mod)
+	res := pk.Ctx(c.S+1).Exp(c.C, e)
 	mMulPlain.Inc()
 	return &Ciphertext{C: res, S: c.S}
 }
@@ -272,6 +455,9 @@ func (pk *PublicKey) MulPlain(x *big.Int, c *Ciphertext) *Ciphertext {
 // DotProduct implements ⊙: given plaintext coefficients xs and an encrypted
 // vector cs of equal length, it returns Enc(Σ xs[i]·m_i). Zero coefficients
 // are skipped, which matters for the sparse indicator vectors of PPGNN.
+// The product Π cs[i]^{xs[i]} runs through the kernel's interleaved
+// multi-exponentiation, sharing one squaring chain across all δ' terms;
+// the result is byte-identical to the reference per-term loop.
 func (pk *PublicKey) DotProduct(xs []*big.Int, cs []*Ciphertext) (*Ciphertext, error) {
 	if len(xs) != len(cs) {
 		return nil, fmt.Errorf("paillier: dot product length mismatch %d vs %d", len(xs), len(cs))
@@ -280,9 +466,10 @@ func (pk *PublicKey) DotProduct(xs []*big.Int, cs []*Ciphertext) (*Ciphertext, e
 		return nil, errors.New("paillier: dot product of empty vectors")
 	}
 	s := cs[0].S
-	mod := pk.NS(s + 1)
-	acc := big.NewInt(1) // Enc(0) with unit randomness; callers rerandomize if needed
-	tmp := new(big.Int)
+	ctx := pk.Ctx(s + 1)
+	ns := pk.NS(s)
+	bases := make([]*big.Int, 0, len(cs))
+	exps := make([]*big.Int, 0, len(cs))
 	for i, c := range cs {
 		if c.S != s {
 			return nil, fmt.Errorf("paillier: mixed ciphertext degrees in dot product")
@@ -292,11 +479,22 @@ func (pk *PublicKey) DotProduct(xs []*big.Int, cs []*Ciphertext) (*Ciphertext, e
 		}
 		e := xs[i]
 		if e.Sign() < 0 {
-			e = new(big.Int).Mod(e, pk.NS(s))
+			e = new(big.Int).Mod(e, ns)
 		}
-		tmp.Exp(c.C, e, mod)
-		acc.Mul(acc, tmp)
-		acc.Mod(acc, mod)
+		bases = append(bases, c.C)
+		exps = append(exps, e)
+	}
+	var (
+		acc *big.Int
+		err error
+	)
+	if kernelOn() {
+		acc, err = ctx.MultiExp(bases, exps)
+	} else {
+		acc, err = ctx.MultiExpRef(bases, exps)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("paillier: dot product: %w", err)
 	}
 	mDot.Inc()
 	return &Ciphertext{C: acc, S: s}, nil

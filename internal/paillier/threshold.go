@@ -168,7 +168,7 @@ func (tk *ThresholdKey) PartialDecrypt(share *KeyShare, c *Ciphertext) (*Decrypt
 	return &DecryptionShare{
 		Index: share.Index,
 		S:     c.S,
-		Value: new(big.Int).Exp(c.C, e, mod),
+		Value: tk.Ctx(c.S+1).Exp(c.C, e),
 	}, nil
 }
 
@@ -195,8 +195,13 @@ func (tk *ThresholdKey) Combine(shares []*DecryptionShare) (*big.Int, error) {
 		}
 		seen[sh.Index] = true
 	}
-	mod := tk.NS(s + 1)
-	acc := big.NewInt(1)
+	ctx := tk.Ctx(s + 1)
+	mod := ctx.M
+	// c' = Π c_i^{2λ_i}: negative coefficients invert the share first (the
+	// group element, not the exponent — N^{s+1}'s order is private), then
+	// all terms go through one interleaved multi-exponentiation.
+	bases := make([]*big.Int, 0, len(use))
+	exps := make([]*big.Int, 0, len(use))
 	for _, sh := range use {
 		lam, err := tk.lagrange(sh.Index, use)
 		if err != nil {
@@ -211,9 +216,20 @@ func (tk *ThresholdKey) Combine(shares []*DecryptionShare) (*big.Int, error) {
 			}
 			e.Neg(e)
 		}
-		term := new(big.Int).Exp(base, e, mod)
-		acc.Mul(acc, term)
-		acc.Mod(acc, mod)
+		bases = append(bases, base)
+		exps = append(exps, e)
+	}
+	var (
+		acc *big.Int
+		err error
+	)
+	if kernelOn() {
+		acc, err = ctx.MultiExp(bases, exps)
+	} else {
+		acc, err = ctx.MultiExpRef(bases, exps)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("paillier: combining shares: %w", err)
 	}
 	// acc = (1+N)^{4Δ²·x}; recover x.
 	xScaled, err := tk.logOnePlusN(acc, s)

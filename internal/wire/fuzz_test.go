@@ -17,9 +17,9 @@ func FuzzReadFrame(f *testing.F) {
 	}
 	f.Add(w.Bytes())
 	f.Add([]byte{})
-	f.Add([]byte{1, 0xff, 0xff, 0xff, 0xff})       // length prefix over the limit
-	f.Add([]byte{2, 0, 0, 0, 9, 'x'})              // truncated payload
-	f.Add(append(w.Bytes(), w.Bytes()...))         // two back-to-back frames
+	f.Add([]byte{1, 0xff, 0xff, 0xff, 0xff}) // length prefix over the limit
+	f.Add([]byte{2, 0, 0, 0, 9, 'x'})        // truncated payload
+	f.Add(append(w.Bytes(), w.Bytes()...))   // two back-to-back frames
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bytes.NewReader(data)
 		msgType, payload, err := ReadFrame(r)
