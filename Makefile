@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench-gate bench-kernel bench-snapshot metrics-smoke clean
+.PHONY: all build vet test race fuzz bench-gate bench-kernel bench-snapshot bench-load load-smoke metrics-smoke clean
 
 all: vet build test
 
@@ -47,10 +47,26 @@ bench-kernel:
 bench-snapshot:
 	$(GO) run ./cmd/ppgnn-experiments -snapshot -keybits 256 -queries 6
 
+# The open-loop sustained-traffic conformance gate (ROADMAP item 5): an
+# in-process LSP on real TCP, a fleet of client groups at a fixed Poisson
+# rate, one clean pass and one under seeded faultnet faults, every
+# decrypted answer checked against the plaintext engine. Fails on any SLO
+# violation or oracle mismatch. Refresh the baseline by copying
+# BENCH_load.ci.json over BENCH_load.json on representative hardware.
+bench-load:
+	$(GO) run ./cmd/ppgnn-experiments -load-gate \
+		-load-baseline BENCH_load.json -load-out BENCH_load.ci.json
+
+# The ~20s CI variant: lower rate, shorter measure window, same oracle
+# check and SLOs.
+load-smoke:
+	$(GO) run ./cmd/ppgnn-experiments -load-gate -load-rate 25 -load-measure 4s \
+		-load-baseline BENCH_load.json -load-out BENCH_load.ci.json
+
 # Start the LSP with -metrics-addr, query it once, and check the metrics
 # endpoint serves a JSON snapshot (the CI smoke test).
 metrics-smoke:
 	./scripts/metrics-smoke.sh
 
 clean:
-	rm -f BENCH_obs.json BENCH_parallel.ci.json BENCH_kernel.ci.json
+	rm -f BENCH_obs.json BENCH_parallel.ci.json BENCH_kernel.ci.json BENCH_load.ci.json

@@ -33,6 +33,19 @@
 //	             CI floors or on regression against -kernel-baseline
 //	-kernel-out F      output file for -kernel-gate (default BENCH_kernel.json)
 //	-kernel-baseline F committed baseline report to gate against (optional)
+//	-load-gate   run the open-loop sustained-traffic conformance gate: an
+//	             in-process LSP on real TCP, a fleet of client groups at a
+//	             fixed arrival rate, every decrypted answer checked against
+//	             the plaintext engine — once clean and once under seeded
+//	             faultnet faults — and write the report to -load-out; exits
+//	             nonzero on any SLO violation, oracle mismatch, or
+//	             regression against -load-baseline
+//	-load-out F      output file for -load-gate (default BENCH_load.json)
+//	-load-baseline F committed baseline report to gate against (optional)
+//	-load-rate R     offered arrivals/second (default 40)
+//	-load-warmup D   unscored warm-up window (default 1s)
+//	-load-measure D  scored window per pass (default 6s)
+//	-load-faulted    include the faulted pass (default true)
 //
 // Absolute timings differ from the paper's C++/GMP testbed; the shapes
 // (who wins, growth rates, crossovers) are the reproduction target. See
@@ -67,6 +80,13 @@ func main() {
 	kernelGate := flag.Bool("kernel-gate", false, "time the homomorphic primitives with the modmath kernel on vs off and write the gate report")
 	kernelOut := flag.String("kernel-out", "BENCH_kernel.json", "output file for -kernel-gate")
 	kernelBaseline := flag.String("kernel-baseline", "", "baseline report to gate -kernel-gate against (optional)")
+	loadGate := flag.Bool("load-gate", false, "run the open-loop sustained-traffic conformance gate and write the report")
+	loadOut := flag.String("load-out", "BENCH_load.json", "output file for -load-gate")
+	loadBaseline := flag.String("load-baseline", "", "baseline report to gate -load-gate against (optional)")
+	loadRate := flag.Float64("load-rate", 40, "offered arrivals/second for -load-gate")
+	loadWarmup := flag.Duration("load-warmup", time.Second, "unscored warm-up window for -load-gate")
+	loadMeasure := flag.Duration("load-measure", 6*time.Second, "scored window per -load-gate pass")
+	loadFaulted := flag.Bool("load-faulted", true, "include the seeded-fault pass in -load-gate")
 	flag.Parse()
 
 	cfg := experiments.Config{
@@ -120,7 +140,11 @@ func main() {
 		if err := report.Check(baseline); err != nil {
 			fatal(err)
 		}
-		fmt.Println("  gate: PASS")
+		if reason := report.FloorSkipReason(); reason != "" {
+			fmt.Printf("  gate: PASS with a caveat — %s\n", reason)
+		} else {
+			fmt.Println("  gate: PASS")
+		}
 		return
 	}
 
@@ -167,6 +191,66 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("  gate: PASS")
+		return
+	}
+
+	if *loadGate {
+		// The load gate measures the service under sustained traffic, not
+		// the paper's cost model; unless -keybits was set explicitly it
+		// runs at 256 bits so a CI smoke pass stays ~20s.
+		gateCfg := cfg
+		keybitsSet := false
+		flag.Visit(func(f *flag.Flag) { keybitsSet = keybitsSet || f.Name == "keybits" })
+		if !keybitsSet {
+			gateCfg.KeyBits = 256
+		}
+		start := time.Now()
+		report, err := gateCfg.LoadGate(experiments.LoadGateOptions{
+			Rate:    *loadRate,
+			Warmup:  *loadWarmup,
+			Measure: *loadMeasure,
+			Faulted: *loadFaulted,
+			Logf:    func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
+		})
+		if err != nil {
+			fatal(err)
+		}
+		b, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*loadOut, append(b, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("load gate: keybits=%d cores=%d rate=%.3g/s measure=%v (%v total)\n",
+			report.KeyBits, report.Cores, *loadRate, *loadMeasure, time.Since(start).Round(time.Millisecond))
+		for _, p := range report.Passes {
+			m := p.Report.Stage("measure")
+			fmt.Printf("  %-7s %s\n          mismatches=%d abandoned=%d slo{%s}\n",
+				p.Name, m.Summary(), p.Report.Mismatches(), p.Report.Abandoned, p.SLO)
+			if p.SLOViolation != "" {
+				fmt.Printf("          VIOLATION: %s\n", p.SLOViolation)
+			}
+		}
+		var baseline *experiments.LoadReport
+		if *loadBaseline != "" {
+			raw, err := os.ReadFile(*loadBaseline)
+			if err != nil {
+				fatal(err)
+			}
+			baseline = new(experiments.LoadReport)
+			if err := json.Unmarshal(raw, baseline); err != nil {
+				fatal(fmt.Errorf("parsing %s: %w", *loadBaseline, err))
+			}
+			if bm := baseline.Passes[0].Report.Stage("measure"); bm != nil {
+				fmt.Printf("  baseline: clean p95=%.4fs achieved=%.2f/s cores=%d\n",
+					bm.LatencyP95, bm.AchievedQPS, baseline.Cores)
+			}
+		}
+		if err := report.Check(baseline); err != nil {
+			fatal(err)
+		}
+		fmt.Println("  gate: PASS (every answer matched the plaintext oracle)")
 		return
 	}
 

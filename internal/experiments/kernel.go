@@ -108,7 +108,7 @@ func (c Config) KernelGate(reps int) (*KernelReport, error) {
 		reps = 3
 	}
 	rep := &KernelReport{
-		KeyBits: c.KeyBits, Cores: runtime.GOMAXPROCS(0), Reps: reps,
+		KeyBits: c.KeyBits, Cores: runtime.NumCPU(), Reps: reps,
 	}
 
 	// --- ⊙ and ⨂ at the protocol shape: δ' ≈ 101 terms under a

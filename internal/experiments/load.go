@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"time"
+
+	"ppgnn/internal/core"
+	"ppgnn/internal/faultnet"
+	"ppgnn/internal/geo"
+	"ppgnn/internal/gnn"
+	"ppgnn/internal/load"
+	"ppgnn/internal/obs"
+	"ppgnn/internal/transport"
+
+	"context"
+)
+
+// LoadReport is the payload of BENCH_load.json: one or two open-loop
+// passes (clean, and optionally faulted) of the sustained-traffic
+// conformance harness against an in-process ppgnn-lsp over real TCP.
+// Every decrypted answer in every pass is checked against the plaintext
+// gnn oracle; a single mismatch fails the gate regardless of SLOs.
+type LoadReport struct {
+	KeyBits int        `json:"keybits"`
+	Cores   int        `json:"cores"` // runtime.NumCPU, honest
+	Passes  []LoadPass `json:"passes"`
+}
+
+// LoadPass is one driver run plus the verdict of its SLO.
+type LoadPass struct {
+	Name    string `json:"name"` // clean | faulted
+	Faulted bool   `json:"faulted"`
+	// SLO is the human rendering of the objective this pass was held to.
+	SLO string `json:"slo"`
+	// SLOViolation is empty on a passing run; otherwise every violated
+	// objective, joined. Check refuses any report carrying one.
+	SLOViolation string       `json:"slo_violation,omitempty"`
+	Report       *load.Report `json:"report"`
+}
+
+// LoadGateOptions sizes a LoadGate run. The zero value is the CI smoke
+// configuration: ~20 seconds of wall clock at a modest rate.
+type LoadGateOptions struct {
+	Rate                   float64 // offered QPS (default 40)
+	Arrival                load.Arrival
+	Warmup, Measure, Drain time.Duration // defaults 1s / 6s / 30s
+	Groups, GroupSize      int           // default 6 groups of 3
+	MaxInFlight            int
+	// Faulted adds a second pass with seeded faultnet schedules — dial
+	// drops, added latency, and mid-answer connection kills — injected on
+	// the client links while the oracle check stays on.
+	Faulted bool
+	// SLO overrides the clean pass's objective (the faulted pass derives
+	// a tolerant variant of it).
+	SLO  *load.SLO
+	Logf func(format string, args ...any)
+}
+
+func (o LoadGateOptions) withDefaults() LoadGateOptions {
+	if o.Rate <= 0 {
+		o.Rate = 40
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = time.Second
+	}
+	if o.Measure <= 0 {
+		o.Measure = 6 * time.Second
+	}
+	if o.Drain <= 0 {
+		o.Drain = 30 * time.Second
+	}
+	if o.Groups <= 0 {
+		o.Groups = 6
+	}
+	if o.GroupSize <= 0 {
+		o.GroupSize = 3
+	}
+	return o
+}
+
+// gateFaults is the seeded per-group fault schedule of the faulted pass:
+// a quarter of the fleet loses its first dials, a quarter has its first
+// connection killed mid-answer (a non-retryable session loss, by the
+// transport's at-most-once rule), a quarter runs over a slow link, and
+// the rest stay clean. Deterministic in (seed, group).
+func gateFaults(seed int64) func(group int) func(addr string) (net.Conn, error) {
+	return func(group int) func(addr string) (net.Conn, error) {
+		gs := seed + int64(group)
+		switch group % 4 {
+		case 0:
+			return faultnet.Dialer(
+				faultnet.Faults{FailDial: true},
+				faultnet.Faults{FailDial: true},
+			)
+		case 1:
+			return faultnet.Dialer(faultnet.Faults{Seed: gs, ReadResetAfter: 64})
+		case 2:
+			return faultnet.Dialer(
+				faultnet.Faults{Seed: gs, Latency: 2 * time.Millisecond, MaxChunk: 512},
+				faultnet.Faults{Seed: gs + 1, Latency: 2 * time.Millisecond, MaxChunk: 512},
+			)
+		default:
+			return nil
+		}
+	}
+}
+
+// LoadGate is ROADMAP item 5's CI teeth: it starts an in-process LSP on
+// a real TCP listener, builds a fleet of client groups, offers open-loop
+// traffic, and holds the run to an SLO while conformance-checking every
+// answer against the plaintext engine. With opts.Faulted it repeats the
+// run under seeded faultnet schedules, where sessions may be lost to the
+// taxonomy but never answered wrongly. The returned report is
+// BENCH_load.json; call Check to enforce it.
+func (c Config) LoadGate(opts LoadGateOptions) (*LoadReport, error) {
+	c = c.Defaults()
+	opts = opts.withDefaults()
+
+	lsp := core.NewLSP(c.Items, c.Space)
+	srv := transport.NewServer(lsp)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("load gate: %w", err)
+	}
+	defer srv.Close()
+	oracle := func(q []geo.Point, k int) []gnn.Result { return lsp.Search(q, k, gnn.Sum) }
+
+	cleanSLO := load.SLO{
+		P95:               2 * time.Second,
+		P99:               4 * time.Second,
+		MaxErrorRate:      0,
+		MinThroughputFrac: 0.9,
+	}
+	if opts.SLO != nil {
+		cleanSLO = *opts.SLO
+	}
+	// Injected kills legitimately cost sessions and retries cost time;
+	// the faulted pass relaxes rates and latency but still forbids
+	// abandonment — and mismatches stay fatal everywhere.
+	faultedSLO := cleanSLO
+	faultedSLO.MaxErrorRate = maxf(cleanSLO.MaxErrorRate, 0.25)
+	faultedSLO.MinThroughputFrac = 0.5
+	faultedSLO.P95, faultedSLO.P99 = 2*cleanSLO.P95, 2*cleanSLO.P99
+
+	rep := &LoadReport{KeyBits: c.KeyBits, Cores: runtime.NumCPU()}
+	passes := []struct {
+		name    string
+		faulted bool
+		slo     load.SLO
+	}{{"clean", false, cleanSLO}}
+	if opts.Faulted {
+		passes = append(passes, struct {
+			name    string
+			faulted bool
+			slo     load.SLO
+		}{"faulted", true, faultedSLO})
+	}
+
+	for i, p := range passes {
+		fc := load.FleetConfig{
+			Addr:      addr.String(),
+			Groups:    opts.Groups,
+			GroupSize: opts.GroupSize,
+			KeyBits:   c.KeyBits,
+			Seed:      c.Seed + int64(i)*101,
+			Oracle:    oracle,
+		}
+		if p.faulted {
+			fc.DialFunc = gateFaults(c.Seed)
+		}
+		fleet, err := load.NewFleet(fc)
+		if err != nil {
+			return nil, fmt.Errorf("load gate: %s pass: %w", p.name, err)
+		}
+		d, err := load.NewDriver(load.Config{
+			Rate:          opts.Rate,
+			Arrival:       opts.Arrival,
+			Warmup:        opts.Warmup,
+			Measure:       opts.Measure,
+			Drain:         opts.Drain,
+			MaxInFlight:   opts.MaxInFlight,
+			Seed:          c.Seed + int64(i),
+			OracleChecked: true,
+			Obs:           obs.NewRegistry(), // isolated per pass
+			Logf:          opts.Logf,
+		}, fleet)
+		if err != nil {
+			fleet.Close()
+			return nil, fmt.Errorf("load gate: %s pass: %w", p.name, err)
+		}
+		run, err := d.Run(context.Background())
+		fleet.Close()
+		if err != nil {
+			return nil, fmt.Errorf("load gate: %s pass: %w", p.name, err)
+		}
+		pass := LoadPass{Name: p.name, Faulted: p.faulted, SLO: p.slo.String(), Report: run}
+		if err := p.slo.Check(run); err != nil {
+			pass.SLOViolation = err.Error()
+		}
+		rep.Passes = append(rep.Passes, pass)
+	}
+	return rep, nil
+}
+
+// Check enforces the gate. Any recorded SLO violation or oracle mismatch
+// fails outright. A baseline (the committed BENCH_load.json) is only
+// comparable on matching core counts; there, the clean pass's measured
+// p95 may not blow out to more than 2.5× the baseline's and its achieved
+// throughput may not collapse below half.
+func (r *LoadReport) Check(baseline *LoadReport) error {
+	if len(r.Passes) == 0 {
+		return fmt.Errorf("load gate: report has no passes")
+	}
+	for _, p := range r.Passes {
+		if n := p.Report.Mismatches(); n > 0 {
+			return fmt.Errorf("load gate: %s pass: %d answer(s) disagreed with the plaintext oracle", p.Name, n)
+		}
+		if p.SLOViolation != "" {
+			return fmt.Errorf("load gate: %s pass failed its SLO: %s", p.Name, p.SLOViolation)
+		}
+	}
+	if baseline == nil || baseline.Cores != r.Cores {
+		return nil
+	}
+	base := baseline.pass("clean")
+	cur := r.pass("clean")
+	if base == nil || cur == nil {
+		return nil
+	}
+	bm, cm := base.Report.Stage("measure"), cur.Report.Stage("measure")
+	if bm == nil || cm == nil {
+		return nil
+	}
+	if bm.LatencyP95 > 0 && cm.LatencyP95 > 2.5*bm.LatencyP95 {
+		return fmt.Errorf("load gate: clean p95 %.4fs regressed >2.5x vs baseline %.4fs (cores=%d)",
+			cm.LatencyP95, bm.LatencyP95, r.Cores)
+	}
+	// Throughput compares as achieved/offered fractions, so a smoke run
+	// at a lower offered rate still gates against a full-rate baseline.
+	if bm.OfferedQPS > 0 && cm.OfferedQPS > 0 {
+		baseFrac := bm.AchievedQPS / bm.OfferedQPS
+		curFrac := cm.AchievedQPS / cm.OfferedQPS
+		if baseFrac > 0 && curFrac < 0.5*baseFrac {
+			return fmt.Errorf("load gate: clean achieved/offered qps %.2f collapsed below half of baseline %.2f (cores=%d)",
+				curFrac, baseFrac, r.Cores)
+		}
+	}
+	return nil
+}
+
+func (r *LoadReport) pass(name string) *LoadPass {
+	for i := range r.Passes {
+		if r.Passes[i].Name == name {
+			return &r.Passes[i]
+		}
+	}
+	return nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"ppgnn/internal/dataset"
+	"ppgnn/internal/load"
+)
+
+func quickLoadOpts() LoadGateOptions {
+	return LoadGateOptions{
+		Rate:    30,
+		Warmup:  200 * time.Millisecond,
+		Measure: time.Second,
+		Drain:   20 * time.Second,
+		Groups:  4,
+		Faulted: true,
+		SLO: &load.SLO{
+			P95:               5 * time.Second,
+			P99:               10 * time.Second,
+			MinThroughputFrac: 0.5,
+		},
+	}
+}
+
+// A short clean+faulted gate run end to end: both passes complete, zero
+// oracle mismatches, the faulted pass loses sessions only to the
+// taxonomy, and the report survives the JSON round trip CI relies on.
+func TestLoadGateEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sustained-traffic gate run")
+	}
+	cfg := Config{Items: dataset.Synthetic(7, 1200), KeyBits: 192, Seed: 9}
+	rep, err := cfg.LoadGate(quickLoadOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Passes) != 2 || rep.Passes[0].Name != "clean" || rep.Passes[1].Name != "faulted" {
+		t.Fatalf("want clean+faulted passes, got %+v", rep.Passes)
+	}
+	if rep.Cores < 1 {
+		t.Fatalf("dishonest cores %d", rep.Cores)
+	}
+	for _, p := range rep.Passes {
+		if n := p.Report.Mismatches(); n != 0 {
+			t.Fatalf("%s pass: %d oracle mismatches", p.Name, n)
+		}
+		m := p.Report.Stage("measure")
+		if m == nil || m.OK == 0 {
+			t.Fatalf("%s pass: empty measure stage", p.Name)
+		}
+		if p.SLOViolation != "" {
+			t.Fatalf("%s pass violated its SLO: %s", p.Name, p.SLOViolation)
+		}
+	}
+	if err := rep.Check(nil); err != nil {
+		t.Fatalf("Check(nil): %v", err)
+	}
+
+	// JSON round trip, then gate against itself as baseline: must pass.
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back LoadReport
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Check(rep); err != nil {
+		t.Fatalf("self-baseline check: %v", err)
+	}
+}
+
+func TestLoadReportCheckRejects(t *testing.T) {
+	mk := func(mut func(*LoadReport)) *LoadReport {
+		r := &LoadReport{Cores: 1, Passes: []LoadPass{{
+			Name: "clean",
+			Report: &load.Report{Stages: []load.StageReport{{
+				Stage: "measure", Arrivals: 10, Done: 10, OK: 10,
+				LatencyP95: 0.1, OfferedQPS: 10, AchievedQPS: 10,
+			}}},
+		}}}
+		mut(r)
+		return r
+	}
+
+	if err := mk(func(r *LoadReport) {}).Check(nil); err != nil {
+		t.Fatalf("healthy report rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		rep  *LoadReport
+		base *LoadReport
+		want string
+	}{
+		{"mismatch", mk(func(r *LoadReport) { r.Passes[0].Report.Stages[0].Mismatches = 1 }), nil, "oracle"},
+		{"slo", mk(func(r *LoadReport) { r.Passes[0].SLOViolation = "p95 too slow" }), nil, "SLO"},
+		{"empty", &LoadReport{}, nil, "no passes"},
+		{"p95 blowout", mk(func(r *LoadReport) { r.Passes[0].Report.Stages[0].LatencyP95 = 0.6 }),
+			mk(func(r *LoadReport) {}), "p95"},
+		{"qps collapse", mk(func(r *LoadReport) { r.Passes[0].Report.Stages[0].AchievedQPS = 3 }),
+			mk(func(r *LoadReport) {}), "qps"},
+	}
+	for _, c := range cases {
+		err := c.rep.Check(c.base)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: Check = %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+	// Baseline from different hardware is ignored.
+	other := mk(func(r *LoadReport) { r.Passes[0].Report.Stages[0].LatencyP95 = 9; r.Cores = 64 })
+	if err := other.Check(mk(func(r *LoadReport) {})); err != nil {
+		t.Fatalf("cross-hardware baseline compared: %v", err)
+	}
+}

@@ -1,0 +1,162 @@
+package group_test
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"ppgnn/internal/core"
+	"ppgnn/internal/gnn"
+	"ppgnn/internal/group"
+	"ppgnn/internal/transport"
+)
+
+// TestConcurrentSessionsShareMembers runs many Sessions in parallel
+// against ONE set of live member servers — the long-lived-phone scenario:
+// a member's process holds the reply caches of every coordinator
+// currently talking to it. Each session must decrypt exactly the
+// plaintext oracle answer; any cross-session bleed in the members' reply
+// or dummy caches (a contribution cached under one session ID surfacing
+// in another, a partial decryption replayed across sessions) corrupts the
+// homomorphic pipeline and shows up here as a wrong or failed answer.
+// Run under -race this also pins down the Member's internal locking.
+func TestConcurrentSessionsShareMembers(t *testing.T) {
+	r := newSoakRig(t)
+	const sessions = 6 // below DefaultMaxSessions: nothing may be evicted
+
+	// One shared server per member, every session dials the same four.
+	addrs := make([]string, 4)
+	for i := 0; i < 4; i++ {
+		id := i + 1
+		m := group.NewMember(r.locs[id], nil, rand.New(rand.NewSource(int64(300+id))))
+		m.TK, m.Share = r.coord.TK, r.shares[i]
+		srv := transport.NewMemberServer(m)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		addrs[i] = addr.String()
+	}
+
+	// All sessions share the threshold key world but not mutable state:
+	// each gets a coordinator copy with a private RNG, plus private links.
+	coordFor := func(seed int64) *core.Coordinator {
+		c := *r.coord
+		c.Rng = rand.New(rand.NewSource(seed))
+		return &c
+	}
+
+	// Every session's roster is identical, so one oracle covers all.
+	want := r.lsp.Search(r.locs, r.p.K, gnn.Sum)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	fail := func(format string, args ...any) {
+		errs <- &sessionFailure{msg: format, args: args}
+	}
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			links := make([]group.Link, 4)
+			for j, a := range addrs {
+				link := group.DialMember(a)
+				defer link.Close()
+				links[j] = link
+			}
+			s, err := group.NewSession(coordFor(int64(600+i)), links, soakConfig(int64(800+i)))
+			if err != nil {
+				fail("session %d: %v", i, err)
+				return
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			out, err := s.Run(ctx, core.LocalService{LSP: r.lsp})
+			if err != nil {
+				fail("session %d: %v", i, err)
+				return
+			}
+			if len(out.Contributors) != 5 || len(out.Ejected) != 0 {
+				fail("session %d: contributors=%v ejected=%v, want the full healthy roster",
+					i, out.Contributors, out.Ejected)
+				return
+			}
+			if len(out.Result.Points) != len(want) {
+				fail("session %d: %d POIs, oracle wants %d", i, len(out.Result.Points), len(want))
+				return
+			}
+			for rank := range want {
+				if out.Result.Points[rank].Dist(want[rank].Item.P) > 1e-6 {
+					fail("session %d rank %d: %v differs from oracle %v — cross-session state bleed",
+						i, rank, out.Result.Points[rank], want[rank].Item.P)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		f := e.(*sessionFailure)
+		t.Errorf(f.msg, f.args...)
+	}
+}
+
+type sessionFailure struct {
+	msg  string
+	args []any
+}
+
+func (f *sessionFailure) Error() string { return f.msg }
+
+// TestSequentialSessionsEvictCleanly churns more sessions through one
+// member than its LRU cache holds (MaxSessions=2, 5 sessions): eviction
+// must only ever discard finished sessions' state, never corrupt a later
+// answer — the cheap regression guard for the LRU bookkeeping in
+// Member.session.
+func TestSequentialSessionsEvictCleanly(t *testing.T) {
+	r := newSoakRig(t)
+	addrs := make([]string, 4)
+	for i := 0; i < 4; i++ {
+		id := i + 1
+		m := group.NewMember(r.locs[id], nil, rand.New(rand.NewSource(int64(400+id))))
+		m.TK, m.Share = r.coord.TK, r.shares[i]
+		m.MaxSessions = 2
+		srv := transport.NewMemberServer(m)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		addrs[i] = addr.String()
+	}
+	want := r.lsp.Search(r.locs, r.p.K, gnn.Sum)
+	for i := 0; i < 5; i++ {
+		links := make([]group.Link, 4)
+		for j, a := range addrs {
+			link := group.DialMember(a)
+			defer link.Close()
+			links[j] = link
+		}
+		c := *r.coord
+		c.Rng = rand.New(rand.NewSource(int64(900 + i)))
+		s, err := group.NewSession(&c, links, soakConfig(int64(950+i)))
+		if err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		out, err := s.Run(ctx, core.LocalService{LSP: r.lsp})
+		cancel()
+		if err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+		for rank := range want {
+			if out.Result.Points[rank].Dist(want[rank].Item.P) > 1e-6 {
+				t.Fatalf("session %d rank %d diverges from oracle after LRU churn", i, rank)
+			}
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package load
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// SLO is the service-level objective a run's measure stage must meet.
+// Zero-valued fields are unchecked, with one exception: oracle
+// mismatches always fail, regardless of every other field — conformance
+// is not an objective, it is the contract.
+type SLO struct {
+	// P50/P95/P99 bound the measure stage's latency quantiles.
+	P50, P95, P99 time.Duration
+	// MaxErrorRate bounds (arrivals − ok) / arrivals in the measure
+	// stage; client-side drops count as errors. Set it to a small
+	// non-zero value for faulted runs, where injected kills legitimately
+	// cost a few sessions.
+	MaxErrorRate float64
+	// MinThroughputFrac requires achieved ok-QPS ≥ frac × offered rate
+	// in the measure stage.
+	MinThroughputFrac float64
+	// MaxAbandoned bounds queries still unfinished at the drain
+	// deadline. Zero means none are tolerated; use -1 to skip.
+	MaxAbandoned int64
+}
+
+// String renders the objective as one human line for reports and logs.
+func (s SLO) String() string {
+	parts := []string{"mismatches=0"}
+	add := func(bound time.Duration, name string) {
+		if bound > 0 {
+			parts = append(parts, fmt.Sprintf("%s≤%v", name, bound))
+		}
+	}
+	add(s.P50, "p50")
+	add(s.P95, "p95")
+	add(s.P99, "p99")
+	parts = append(parts, fmt.Sprintf("err≤%.2f", s.MaxErrorRate))
+	if s.MinThroughputFrac > 0 {
+		parts = append(parts, fmt.Sprintf("qps≥%.0f%%", 100*s.MinThroughputFrac))
+	}
+	if s.MaxAbandoned >= 0 {
+		parts = append(parts, fmt.Sprintf("abandoned≤%d", s.MaxAbandoned))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Check applies the SLO to a report and returns every violation joined,
+// so a failing gate names all the broken objectives at once.
+func (s SLO) Check(r *Report) error {
+	var errs []error
+	if n := r.Mismatches(); n > 0 {
+		errs = append(errs, fmt.Errorf("load: %d answer(s) disagreed with the plaintext oracle", n))
+	}
+	m := r.Stage("measure")
+	if m == nil {
+		return errors.Join(append(errs, fmt.Errorf("load: report has no measure stage"))...)
+	}
+	if m.Arrivals == 0 {
+		errs = append(errs, fmt.Errorf("load: measure stage saw no arrivals"))
+	}
+	check := func(bound time.Duration, got float64, name string) {
+		if bound > 0 && got > bound.Seconds() {
+			errs = append(errs, fmt.Errorf("load: measure %s %.4fs exceeds SLO %v", name, got, bound))
+		}
+	}
+	check(s.P50, m.LatencyP50, "p50")
+	check(s.P95, m.LatencyP95, "p95")
+	check(s.P99, m.LatencyP99, "p99")
+	if rate := m.ErrorRate(); rate > s.MaxErrorRate {
+		errs = append(errs, fmt.Errorf("load: measure error rate %.4f exceeds SLO %.4f (outcomes %v, dropped %d)",
+			rate, s.MaxErrorRate, m.Outcomes, m.Dropped))
+	}
+	if s.MinThroughputFrac > 0 && m.AchievedQPS < s.MinThroughputFrac*m.OfferedQPS {
+		errs = append(errs, fmt.Errorf("load: measure achieved %.2f qps below %.0f%% of offered %.2f",
+			m.AchievedQPS, 100*s.MinThroughputFrac, m.OfferedQPS))
+	}
+	if s.MaxAbandoned >= 0 && r.Abandoned > s.MaxAbandoned {
+		errs = append(errs, fmt.Errorf("load: %d queries abandoned past the drain deadline (SLO allows %d)",
+			r.Abandoned, s.MaxAbandoned))
+	}
+	return errors.Join(errs...)
+}

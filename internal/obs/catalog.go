@@ -116,6 +116,17 @@ func catalog() []catalogEntry {
 		{kindHistogram, "modmath_table_build_seconds", TimeBuckets, allOf("table")},
 		{kindCounter, "modmath_fixed_base_total", nil, allOf("result")},
 		{kindHistogram, "modmath_multiexp_width", CountBuckets, nil},
+
+		// open-loop load harness (internal/load, DESIGN.md §12). Arrivals
+		// only fire during warmup and measure; the drain stage merely
+		// waits out in-flight sessions, so no series carries stage=drain.
+		{kindCounter, "load_arrivals_total", nil, each("stage", "warmup", "measure")},
+		{kindCounter, "load_dropped_total", nil, each("stage", "warmup", "measure")},
+		{kindCounter, "load_sessions_total", nil, cross(each("stage", "warmup", "measure"), outcomes)},
+		{kindHistogram, "load_query_seconds", TimeBuckets, each("stage", "warmup", "measure")},
+		{kindHistogram, "load_sched_lag_seconds", TimeBuckets, nil},
+		{kindCounter, "load_oracle_total", nil, allOf("verdict")},
+		{kindGauge, "load_inflight", nil, nil},
 	}
 }
 

@@ -72,6 +72,9 @@ func TestCatalogCoversKnownFamilies(t *testing.T) {
 	wantCounters := [][2]string{
 		{"transport_retries_total", "cause"},
 		{"group_dropouts_total", "cause"},
+		{"load_sessions_total", "stage"},
+		{"load_sessions_total", "outcome"},
+		{"load_oracle_total", "verdict"},
 	}
 	for _, w := range wantCounters {
 		found := false
@@ -99,5 +102,11 @@ func TestCatalogCoversKnownFamilies(t *testing.T) {
 	}
 	if !found {
 		t.Error("catalog is missing parallel_pool_depth")
+	}
+	if s.Histogram("load_query_seconds", L("stage", "measure")) == nil {
+		t.Error("catalog is missing load_query_seconds{stage=measure}")
+	}
+	if s.Histogram("load_sched_lag_seconds") == nil {
+		t.Error("catalog is missing load_sched_lag_seconds")
 	}
 }

@@ -34,10 +34,14 @@ var labelEnums = map[string]map[string]bool{
 		"lsp",       // server-side LSP evaluation (Algorithm 2)
 		"decrypt",   // answer decryption (joint in threshold mode)
 	),
-	// outcome: how a phase or session ended.
+	// outcome: how a phase or session ended. "exhausted" is a session
+	// the transport gave up on after its retry budget (every attempt
+	// failed transiently); "mismatch" is a load-harness session whose
+	// decrypted answer disagreed with the plaintext oracle.
 	"outcome": enum(
 		"ok", "error", "timeout", "canceled",
 		"quorum_lost", "bad_contribution", "remote", "panic", "drain", "busy",
+		"exhausted", "mismatch",
 	),
 	// cause: why a retry, dropout, or shed happened.
 	"cause": enum(
@@ -65,6 +69,14 @@ var labelEnums = map[string]map[string]bool{
 	"table": enum("window", "fixed_base"),
 	// result: whether a fixed-base exponentiation used its table.
 	"result": enum("hit", "miss"),
+	// stage: which phase of an open-loop load run an arrival belongs
+	// to (internal/load, DESIGN.md §12). Completions are attributed to
+	// the stage their arrival fired in, so a query arriving in
+	// "measure" and finishing during "drain" still counts as measured.
+	"stage": enum("warmup", "measure", "drain"),
+	// verdict: the conformance check of one load-harness answer
+	// against the plaintext gnn oracle.
+	"verdict": enum("match", "mismatch"),
 }
 
 func enum(vs ...string) map[string]bool {

@@ -74,9 +74,9 @@ type Pool struct {
 
 	// Pre-bound instruments (init populates them from Obs).
 	mDialOK, mDialErr, mReuse, mBackoff *obs.Counter
-	mSessions                          func(outcome string) *obs.Counter
-	mRetries                           func(cause string) *obs.Counter
-	mInflight                          *obs.Gauge
+	mSessions                           func(outcome string) *obs.Counter
+	mRetries                            func(cause string) *obs.Counter
+	mInflight                           *obs.Gauge
 }
 
 // NewPool returns a Pool serving queries to addr with default sizing;
@@ -275,14 +275,38 @@ func (p *Pool) acquire(ctx context.Context, fresh bool) (net.Conn, error) {
 	if dial == nil {
 		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
 	}
-	conn, err := dial(p.Addr)
-	if err != nil {
+	// The dial itself must honor the query deadline: a SYN blackhole can
+	// hang far longer than any QueryTimeout. Run it aside and abandon it
+	// when the context expires; an abandoned dial's connection, if it ever
+	// arrives, is closed by the watcher rather than leaked.
+	type dialed struct {
+		conn net.Conn
+		err  error
+	}
+	ch := make(chan dialed, 1)
+	go func() {
+		conn, err := dial(p.Addr)
+		ch <- dialed{conn, err}
+	}()
+	select {
+	case d := <-ch:
+		if d.err != nil {
+			<-p.sem
+			p.mDialErr.Inc()
+			return nil, core.Retryable(fmt.Errorf("transport: dial %s: %w", p.Addr, d.err))
+		}
+		p.mDialOK.Inc()
+		return d.conn, nil
+	case <-ctx.Done():
+		go func() {
+			if d := <-ch; d.conn != nil {
+				d.conn.Close()
+			}
+		}()
 		<-p.sem
 		p.mDialErr.Inc()
-		return nil, core.Retryable(fmt.Errorf("transport: dial %s: %w", p.Addr, err))
+		return nil, core.Retryable(fmt.Errorf("transport: dial %s: %w", p.Addr, ctx.Err()))
 	}
-	p.mDialOK.Inc()
-	return conn, nil
 }
 
 // release returns a healthy connection to the idle pool.

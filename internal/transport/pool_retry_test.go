@@ -1,0 +1,255 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ppgnn/internal/core"
+	"ppgnn/internal/geo"
+	"ppgnn/internal/obs"
+	"ppgnn/internal/wire"
+)
+
+// rejectingConn fabricates the server side of a shed: an in-memory
+// connection whose peer drains whatever the client sends and answers the
+// session with a single FrameError carrying msg — byte-for-byte what a
+// transport.Server at MaxConns (or draining) puts on the wire.
+func rejectingConn(msg string) net.Conn {
+	client, server := net.Pipe()
+	go func() {
+		go io.Copy(io.Discard, server)
+		wire.WriteFrame(server, core.FrameError, []byte(msg))
+	}()
+	return client
+}
+
+// scriptDialer returns one scripted outcome per dial, in order:
+//
+//	"ok"     dial the real server
+//	"refuse" fail the dial (connection refused)
+//	"busy"   a connection that sheds the session with BusyMessage
+//	"drain"  likewise with DrainingMessage
+//	"hang"   a dial that never completes until the test ends
+//
+// Dials past the script's end are "ok".
+func scriptDialer(t *testing.T, addr string, script ...string) (func(string) (net.Conn, error), *int32) {
+	t.Helper()
+	var n int32
+	hung := make(chan struct{})
+	t.Cleanup(func() { close(hung) })
+	return func(string) (net.Conn, error) {
+		i := int(atomic.AddInt32(&n, 1)) - 1
+		action := "ok"
+		if i < len(script) {
+			action = script[i]
+		}
+		switch action {
+		case "ok":
+			return net.Dial("tcp", addr)
+		case "refuse":
+			return nil, errors.New("connection refused")
+		case "busy":
+			return rejectingConn(core.BusyMessage), nil
+		case "drain":
+			return rejectingConn(core.DrainingMessage), nil
+		case "hang":
+			<-hung
+			return nil, errors.New("dial abandoned")
+		default:
+			t.Fatalf("unknown script action %q", action)
+			return nil, nil
+		}
+	}, &n
+}
+
+// TestPoolRetryOrderings drives the retry loop through scripted
+// shed/refuse/recover orderings and asserts, for each, the final verdict,
+// the exact number of dials, and that the typed cause survives the
+// errors.Join of the attempt chain.
+func TestPoolRetryOrderings(t *testing.T) {
+	_, addr := startServer(t, 500)
+	g, err := core.NewGroup(testParams(2, core.VariantPPGNN),
+		[]geo.Point{{X: 0.3, Y: 0.6}, {X: 0.4, Y: 0.7}}, rand.New(rand.NewSource(21)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, lms, err := g.BuildQuery(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name       string
+		script     []string
+		maxRetries int
+		wantOK     bool
+		wantDials  int32
+		wantMsg    string // RemoteError message still matchable via errors.As
+		wantRetry  bool   // core.IsRetryable on the final error
+		retries    int64  // expected transport_retries_total across causes
+	}{
+		{
+			name:   "shed twice then admitted",
+			script: []string{"busy", "busy", "ok"},
+			wantOK: true, wantDials: 3, retries: 2,
+		},
+		{
+			name:   "draining then admitted elsewhere",
+			script: []string{"drain", "ok"},
+			wantOK: true, wantDials: 2, retries: 1,
+		},
+		{
+			name:   "refused then shed then admitted",
+			script: []string{"refuse", "busy", "ok"},
+			wantOK: true, wantDials: 3, retries: 2,
+		},
+		{
+			name:       "shed to exhaustion keeps busy matchable",
+			script:     []string{"busy", "busy", "busy"},
+			maxRetries: 2, wantOK: false, wantDials: 3,
+			wantMsg: core.BusyMessage, wantRetry: true, retries: 2,
+		},
+		{
+			name:       "refused to exhaustion stays retryable",
+			script:     []string{"refuse", "refuse"},
+			maxRetries: 1, wantOK: false, wantDials: 2,
+			wantRetry: true, retries: 1,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			pool := fastPool(addr)
+			defer pool.Close()
+			pool.Obs = obs.NewRegistry()
+			if c.maxRetries != 0 {
+				pool.MaxRetries = c.maxRetries
+			}
+			dial, dials := scriptDialer(t, addr, c.script...)
+			pool.DialFunc = dial
+
+			ans, err := pool.Process(q, lms)
+			if c.wantOK {
+				if err != nil {
+					t.Fatalf("Process: %v", err)
+				}
+				if ans == nil {
+					t.Fatal("nil answer on success")
+				}
+			} else {
+				if err == nil {
+					t.Fatal("Process succeeded against the script")
+				}
+				if c.wantMsg != "" {
+					var re *core.RemoteError
+					if !errors.As(err, &re) || re.Msg != c.wantMsg {
+						t.Fatalf("typed cause lost in %v", err)
+					}
+				}
+				if core.IsRetryable(err) != c.wantRetry {
+					t.Fatalf("IsRetryable = %v, want %v: %v", !c.wantRetry, c.wantRetry, err)
+				}
+			}
+			if got := atomic.LoadInt32(dials); got != c.wantDials {
+				t.Fatalf("dialed %d times, want %d", got, c.wantDials)
+			}
+			var retried int64
+			for _, cs := range pool.Obs.Snapshot().Counters {
+				if cs.Name == "transport_retries_total" {
+					retried += cs.Value
+				}
+			}
+			if retried != c.retries {
+				t.Fatalf("transport_retries_total = %d, want %d", retried, c.retries)
+			}
+		})
+	}
+}
+
+// TestPoolDeadlineDuringDial: the dial itself hangs (SYN blackhole). The
+// query deadline must still fire on time, classify as a timeout, and not
+// leak the checked-out slot — the pool stays usable afterwards.
+func TestPoolDeadlineDuringDial(t *testing.T) {
+	_, addr := startServer(t, 500)
+	pool := fastPool(addr)
+	defer pool.Close()
+	pool.QueryTimeout = 150 * time.Millisecond
+	dial, _ := scriptDialer(t, addr, "hang")
+	pool.DialFunc = dial
+
+	g, err := core.NewGroup(testParams(2, core.VariantPPGNN),
+		[]geo.Point{{X: 0.2, Y: 0.5}, {X: 0.3, Y: 0.6}}, rand.New(rand.NewSource(22)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, lms, err := g.BuildQuery(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = pool.Process(q, lms)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Process succeeded through a hung dial")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("hung dial not classified as a deadline: %v", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("deadline fired after %v, want ≈150ms", elapsed)
+	}
+	// Slot not leaked: a healthy query on the same pool succeeds (script
+	// past its end dials the real server).
+	pool.QueryTimeout = 10 * time.Second
+	if _, err := pool.Process(q, lms); err != nil {
+		t.Fatalf("pool unusable after an abandoned dial: %v", err)
+	}
+}
+
+// TestPoolDeadlineDuringBackoff: the shed happens, the deadline expires
+// inside the backoff sleep, and the joined error carries both the typed
+// shed cause and the deadline.
+func TestPoolDeadlineDuringBackoff(t *testing.T) {
+	_, addr := startServer(t, 500)
+	pool := NewPool(addr)
+	pool.RetryBase = 30 * time.Second // backoff far beyond the deadline
+	pool.RetryMax = 30 * time.Second
+	pool.QueryTimeout = 150 * time.Millisecond
+	defer pool.Close()
+	dial, dials := scriptDialer(t, addr, "busy")
+	pool.DialFunc = dial
+
+	g, err := core.NewGroup(testParams(2, core.VariantPPGNN),
+		[]geo.Point{{X: 0.6, Y: 0.2}, {X: 0.7, Y: 0.3}}, rand.New(rand.NewSource(23)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, lms, err := g.BuildQuery(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = pool.Process(q, lms)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Process succeeded")
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("returned after %v, want ≈150ms (backoff must not outlive the deadline)", elapsed)
+	}
+	var re *core.RemoteError
+	if !errors.As(err, &re) || re.Msg != core.BusyMessage {
+		t.Fatalf("busy cause lost when the deadline cut the backoff: %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline not recorded alongside the shed: %v", err)
+	}
+	if got := atomic.LoadInt32(dials); got != 1 {
+		t.Fatalf("dialed %d times, want 1 (deadline fired before the retry)", got)
+	}
+}
