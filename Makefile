@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench-gate bench-kernel bench-snapshot bench-load load-smoke metrics-smoke clean
+.PHONY: all build vet test race fuzz bench-gate bench-kernel bench-snapshot bench-load load-smoke chaos-gate svc-smoke metrics-smoke clean
 
 all: vet build test
 
@@ -22,7 +22,7 @@ race:
 # Short burst of every fuzz target (15s each by default; FUZZTIME=1m
 # for longer local runs).
 fuzz:
-	./scripts/fuzz-pass.sh ./internal/core ./internal/wire ./internal/modmath
+	./scripts/fuzz-pass.sh ./internal/core ./internal/wire ./internal/modmath ./internal/svc
 
 # The CI benchmark-regression gate, runnable locally: the serial vs
 # parallel pipeline benchmarks, then the LSP query-phase speedup gate
@@ -63,10 +63,23 @@ load-smoke:
 	$(GO) run ./cmd/ppgnn-experiments -load-gate -load-rate 25 -load-measure 4s \
 		-load-baseline BENCH_load.json -load-out BENCH_load.ci.json
 
+# The multi-tenant lifecycle soak: two tenants under concurrent traffic
+# (one behind seeded faults, one with a quota of a single session) while
+# a reload storm rewrites the config mid-traffic. Fails on any oracle
+# mismatch, lost session, epoch leak, or a shed not classified retryable.
+chaos-gate:
+	$(GO) run ./cmd/ppgnn-experiments -chaos-gate -chaos-out BENCH_chaos.ci.json
+
+# Boot a two-tenant ppgnn-lsp from a config file, probe /healthz and
+# /readyz, SIGHUP-reload it mid-load, then run the chaos soak (the CI
+# svc-smoke job).
+svc-smoke:
+	./scripts/svc-smoke.sh
+
 # Start the LSP with -metrics-addr, query it once, and check the metrics
 # endpoint serves a JSON snapshot (the CI smoke test).
 metrics-smoke:
 	./scripts/metrics-smoke.sh
 
 clean:
-	rm -f BENCH_obs.json BENCH_parallel.ci.json BENCH_kernel.ci.json BENCH_load.ci.json
+	rm -f BENCH_obs.json BENCH_parallel.ci.json BENCH_kernel.ci.json BENCH_load.ci.json BENCH_chaos.ci.json

@@ -46,6 +46,18 @@
 //	-load-warmup D   unscored warm-up window (default 1s)
 //	-load-measure D  scored window per pass (default 6s)
 //	-load-faulted    include the faulted pass (default true)
+//	-chaos-gate  run the multi-tenant lifecycle soak: two tenants under
+//	             concurrent open-loop traffic (one behind seeded dial-kill
+//	             and slow-link faults, one with a quota of a single session
+//	             so the admission gate provably sheds) while a reload storm
+//	             rewrites the service config mid-traffic — one write
+//	             deliberately corrupt. Every answer is oracle-checked;
+//	             exits nonzero on any mismatch, lost session, epoch leak,
+//	             or an admission shed not classified retryable
+//	-chaos-out F     output file for -chaos-gate (default BENCH_chaos.json)
+//	-chaos-rate R    offered arrivals/second per tenant (default 25)
+//	-chaos-measure D scored window (default 4s)
+//	-chaos-reloads N valid reloads pushed mid-traffic (default 3)
 //
 // Absolute timings differ from the paper's C++/GMP testbed; the shapes
 // (who wins, growth rates, crossovers) are the reproduction target. See
@@ -87,6 +99,11 @@ func main() {
 	loadWarmup := flag.Duration("load-warmup", time.Second, "unscored warm-up window for -load-gate")
 	loadMeasure := flag.Duration("load-measure", 6*time.Second, "scored window per -load-gate pass")
 	loadFaulted := flag.Bool("load-faulted", true, "include the seeded-fault pass in -load-gate")
+	chaosGate := flag.Bool("chaos-gate", false, "run the multi-tenant lifecycle soak (reload storm + admission sheds + faults) and write the report")
+	chaosOut := flag.String("chaos-out", "BENCH_chaos.json", "output file for -chaos-gate")
+	chaosRate := flag.Float64("chaos-rate", 25, "offered arrivals/second per tenant for -chaos-gate")
+	chaosMeasure := flag.Duration("chaos-measure", 4*time.Second, "scored window for -chaos-gate")
+	chaosReloads := flag.Int("chaos-reloads", 3, "valid config reloads pushed mid-traffic by -chaos-gate")
 	flag.Parse()
 
 	cfg := experiments.Config{
@@ -251,6 +268,51 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("  gate: PASS (every answer matched the plaintext oracle)")
+		return
+	}
+
+	if *chaosGate {
+		// Like -load-gate, the chaos gate measures the lifecycle layer,
+		// not the cost model: default to 256-bit keys unless overridden.
+		gateCfg := cfg
+		keybitsSet := false
+		flag.Visit(func(f *flag.Flag) { keybitsSet = keybitsSet || f.Name == "keybits" })
+		if !keybitsSet {
+			gateCfg.KeyBits = 256
+		}
+		start := time.Now()
+		report, err := gateCfg.ChaosGate(experiments.ChaosGateOptions{
+			Rate:    *chaosRate,
+			Measure: *chaosMeasure,
+			Reloads: *chaosReloads,
+			Logf:    func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
+		})
+		if err != nil {
+			fatal(err)
+		}
+		b, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*chaosOut, append(b, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("chaos gate: keybits=%d cores=%d rate=%.3g/s/tenant measure=%v (%v total)\n",
+			report.KeyBits, report.Cores, *chaosRate, *chaosMeasure, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("  epochs=%d applied=%d rejected=%d watchdog=%d live=%d state=%s quota-sheds=%d\n",
+			report.Epochs, report.AppliedReloads, report.RejectedReloads,
+			report.WatchdogTrips, report.LiveEpochs, report.FinalState, report.QuotaSheds)
+		for _, t := range report.Tenants {
+			if m := t.Report.Stage("measure"); m != nil {
+				fmt.Printf("  %-6s faulted=%-5v %s\n         mismatches=%d abandoned=%d busy=%d\n",
+					t.Tenant, t.Faulted, m.Summary(), t.Report.Mismatches(),
+					t.Report.Abandoned, m.Outcomes["busy"])
+			}
+		}
+		if err := report.Check(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("  gate: PASS (oracle clean across every reload epoch)")
 		return
 	}
 

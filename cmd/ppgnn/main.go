@@ -16,6 +16,8 @@
 //	-variant ppgnn|opt|naive
 //	-keybits N   Paillier modulus size (default 1024)
 //	-connect A   query a remote LSP at address A instead of in-process
+//	-tenant T    route -connect sessions to tenant T of a multi-tenant
+//	             LSP (default: the default tenant, no tenant frame)
 //	-pool N      connection-pool size for -connect (default 4)
 //	-retries N   resend attempts after a transient failure (default 3)
 //	-query-timeout D  per-query deadline, retries included (default none)
@@ -26,6 +28,9 @@
 //	             n users responding (in-process members; 0 = shared-memory
 //	             group requiring all n)
 //	-member-timeout D  per-member exchange deadline for -quorum-t
+//	-members-tcp serve the -quorum-t members over loopback TCP
+//	             MemberServers (accept-loop failures are logged) instead
+//	             of in-process links
 //	-ids         include POI database IDs in the answer
 //	-workers N   worker-pool width for batch encryption/decryption and
 //	             the in-process LSP (default 0 = GOMAXPROCS)
@@ -71,6 +76,8 @@ func main() {
 	threshold := flag.Int("threshold", 0, "require t-of-n users for decryption (0 = coordinator key)")
 	quorumT := flag.Int("quorum-t", 0, "complete with any t-of-n users via a quorum group session (0 = require all)")
 	memberTimeout := flag.Duration("member-timeout", 5*time.Second, "per-member exchange deadline for -quorum-t")
+	membersTCP := flag.Bool("members-tcp", false, "serve -quorum-t members over loopback TCP MemberServers instead of in-process links")
+	tenant := flag.String("tenant", "", "route -connect sessions to this tenant of a multi-tenant LSP (default: the default tenant)")
 	metricsAddr := flag.String("metrics-addr", "", "serve JSON metrics snapshot and pprof on this address (default off)")
 	workers := flag.Int("workers", 0, "worker-pool width for batch crypto and the in-process LSP (0 = all cores)")
 	shortRandBits := flag.Int("short-rand-bits", 0, "short-exponent encryption randomness width (0 = full-width, paper-faithful; changes the security assumption, see SECURITY.md)")
@@ -155,7 +162,29 @@ func main() {
 			if shares != nil {
 				m.TK, m.Share = coord.TK, shares[i]
 			}
-			links[i] = ppgnn.InProcessMember(m)
+			if *membersTCP {
+				// Each member behind a real loopback MemberServer: the
+				// wire path the phones would use, accept-loop health
+				// surfaced instead of dying silently.
+				srv, err := ppgnn.ServeMember(m, "127.0.0.1:0")
+				if err != nil {
+					fatal(err)
+				}
+				member := i + 1
+				srv.OnAcceptExit = func(err error) {
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "member %d: accept loop died: %v\n", member, err)
+					}
+				}
+				defer srv.Close()
+				maddr, err := srv.Addr()
+				if err != nil {
+					fatal(err)
+				}
+				links[i] = ppgnn.DialGroupMember(maddr.String())
+			} else {
+				links[i] = ppgnn.InProcessMember(m)
+			}
 		}
 		runQuery = func(svc ppgnn.Service, meter *ppgnn.Meter) (*ppgnn.Result, error) {
 			sess, err := ppgnn.NewSession(coord, links, ppgnn.SessionConfig{
@@ -199,6 +228,7 @@ func main() {
 		pool.Size = *poolSize
 		pool.MaxRetries = *retries
 		pool.QueryTimeout = *queryTimeout
+		pool.Tenant = *tenant
 		pool.Meter = &meter
 		defer pool.Close()
 		svc = pool

@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strings"
+	"time"
 )
 
 // Transport error classification. A PPGNN query session is idempotent on
@@ -32,18 +34,71 @@ type RemoteError struct {
 func (e *RemoteError) Error() string { return "core: server rejected query: " + e.Msg }
 
 // FrameError payloads with transport-level meaning. Servers send these
-// verbatim; clients match them to classify the rejection as transient.
+// verbatim (optionally suffixed with a retry-after hint, see BusyReply);
+// clients match them by prefix to classify the rejection as transient.
 const (
-	// BusyMessage sheds load when the server is at its connection limit.
+	// BusyMessage sheds load when the server is at its connection limit
+	// or its admission gate rejects the session.
 	BusyMessage = "server at capacity"
 	// DrainingMessage rejects new sessions while the server drains.
 	DrainingMessage = "server draining"
 )
 
+// retryAfterSep separates a shed message from its optional retry-after
+// hint: "server at capacity; retry-after=120ms". Old clients that compare
+// whole strings simply see an unknown (hence non-retryable) message, so
+// the hint is only attached by servers that know their clients prefix-
+// match — which every Pool in this module does.
+const retryAfterSep = "; retry-after="
+
+// BusyReply renders the load-shedding FrameError payload, carrying the
+// server's suggested retry-after as a wire hint when positive.
+func BusyReply(retryAfter time.Duration) string {
+	if retryAfter <= 0 {
+		return BusyMessage
+	}
+	return BusyMessage + retryAfterSep + retryAfter.String()
+}
+
+// IsBusyMessage reports whether a FrameError payload is a load shed,
+// with or without a retry-after suffix.
+func IsBusyMessage(msg string) bool { return msg == BusyMessage || strings.HasPrefix(msg, BusyMessage+retryAfterSep) }
+
+// IsDrainingMessage reports whether a FrameError payload is a drain
+// rejection.
+func IsDrainingMessage(msg string) bool {
+	return msg == DrainingMessage || strings.HasPrefix(msg, DrainingMessage+retryAfterSep)
+}
+
+// RetryAfter returns the server-suggested backoff carried in the
+// rejection, if any. Malformed hints are ignored — the message stays a
+// valid transient rejection either way.
+func (e *RemoteError) RetryAfter() (time.Duration, bool) {
+	i := strings.Index(e.Msg, retryAfterSep)
+	if i < 0 {
+		return 0, false
+	}
+	d, err := time.ParseDuration(e.Msg[i+len(retryAfterSep):])
+	if err != nil || d <= 0 {
+		return 0, false
+	}
+	return d, true
+}
+
+// RetryAfterHint extracts the server-suggested backoff from anywhere in
+// err's chain (a *RemoteError behind retry-loop wrapping included).
+func RetryAfterHint(err error) (time.Duration, bool) {
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return re.RetryAfter()
+	}
+	return 0, false
+}
+
 // transient reports whether the rejection is a server condition a retry
 // (possibly against another replica) can outlast.
 func (e *RemoteError) transient() bool {
-	return e.Msg == BusyMessage || e.Msg == DrainingMessage
+	return IsBusyMessage(e.Msg) || IsDrainingMessage(e.Msg)
 }
 
 // Group-session error taxonomy (internal/group). The quorum session

@@ -16,7 +16,16 @@ const (
 	FrameLocation = byte(2)
 	FrameAnswer   = byte(3)
 	FrameError    = byte(4)
+	// FrameTenant optionally opens a session before FrameQuery: its
+	// payload is the UTF-8 tenant id the session should be routed to.
+	// Sessions that skip it land on the default tenant, which keeps the
+	// pre-multi-tenant wire format valid byte for byte.
+	FrameTenant = byte(5)
 )
+
+// MaxTenantIDLen bounds the FrameTenant payload; tenant ids are operator
+// configuration, not user data, and never need to be long.
+const MaxTenantIDLen = 64
 
 // ProtocolVersion is the wire-format version embedded in every QueryMsg; a
 // server rejects queries from incompatible clients instead of

@@ -71,6 +71,10 @@ type FleetConfig struct {
 	// RetryBase/RetryMax tune the pools' backoff (defaults as in
 	// transport).
 	RetryBase, RetryMax time.Duration
+	// Tenant routes every group's sessions to a named tenant of a
+	// multi-tenant server ("" = the default tenant, no tenant frame on
+	// the wire).
+	Tenant string
 	// DialFunc, when set, supplies group g's dialer — the faultnet
 	// injection point: per-group seeded schedules of dial refusals,
 	// latency, and mid-stream resets.
@@ -176,6 +180,7 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 		pool.Size = cfg.PoolSize
 		pool.QueryTimeout = cfg.QueryTimeout
 		pool.Seed = cfg.Seed + int64(i)
+		pool.Tenant = cfg.Tenant
 		if cfg.MaxRetries != 0 {
 			pool.MaxRetries = cfg.MaxRetries
 		}

@@ -284,10 +284,10 @@ func Classify(err error) string {
 	}
 	var re *core.RemoteError
 	if errors.As(err, &re) {
-		switch re.Msg {
-		case core.BusyMessage:
+		switch {
+		case core.IsBusyMessage(re.Msg):
 			return "busy"
-		case core.DrainingMessage:
+		case core.IsDrainingMessage(re.Msg):
 			return "drain"
 		default:
 			return "remote"

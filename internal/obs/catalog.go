@@ -127,6 +127,20 @@ func catalog() []catalogEntry {
 		{kindHistogram, "load_sched_lag_seconds", TimeBuckets, nil},
 		{kindCounter, "load_oracle_total", nil, allOf("verdict")},
 		{kindGauge, "load_inflight", nil, nil},
+
+		// service lifecycle layer (internal/svc, DESIGN.md §13). Tenants
+		// appear as slots, never names (see the "tenant" enum); epochs are
+		// gauges, not labels, so the series set stays fixed across any
+		// number of reloads.
+		{kindCounter, "svc_admissions_total", nil, cross(allOf("tenant"), allOf("admission"))},
+		{kindGauge, "svc_tenant_inflight", nil, allOf("tenant")},
+		{kindCounter, "svc_reloads_total", nil, each("result", "applied", "rejected")},
+		{kindGauge, "svc_epoch", nil, nil},
+		{kindGauge, "svc_epochs_live", nil, nil},
+		{kindGauge, "svc_tenants", nil, nil},
+		{kindGauge, "svc_ready", nil, nil},
+		{kindCounter, "svc_watchdog_trips_total", nil, nil},
+		{kindHistogram, "svc_session_cost_seconds", TimeBuckets, nil},
 	}
 }
 

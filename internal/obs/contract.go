@@ -67,8 +67,9 @@ var labelEnums = map[string]map[string]bool{
 	// table: which modmath precomputed-table family was built (§11):
 	// per-call Straus odd-power tables vs long-lived fixed-base tables.
 	"table": enum("window", "fixed_base"),
-	// result: whether a fixed-base exponentiation used its table.
-	"result": enum("hit", "miss"),
+	// result: whether a fixed-base exponentiation used its table, and
+	// whether a svc config reload was applied or rejected.
+	"result": enum("hit", "miss", "applied", "rejected"),
 	// stage: which phase of an open-loop load run an arrival belongs
 	// to (internal/load, DESIGN.md §12). Completions are attributed to
 	// the stage their arrival fired in, so a query arriving in
@@ -77,6 +78,18 @@ var labelEnums = map[string]map[string]bool{
 	// verdict: the conformance check of one load-harness answer
 	// against the plaintext gnn oracle.
 	"verdict": enum("match", "mismatch"),
+	// tenant: the slot of the tenant a svc-layer session was routed to,
+	// NOT its name. Slots are assigned by config order among the
+	// non-default tenants ("t0".."t7"); tenants past the eighth clamp to
+	// "other". Tenant names are operator-chosen strings and may carry
+	// organizational information, so they never reach a metric.
+	"tenant": enum(
+		"default", "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+	),
+	// admission: how the svc admission gate disposed of a session:
+	// admitted, shed by the tenant's session quota, shed by the adaptive
+	// overload gate, or rejected because the tenant does not exist.
+	"admission": enum("ok", "quota", "overload", "unknown"),
 }
 
 func enum(vs ...string) map[string]bool {

@@ -45,12 +45,25 @@ func NewMux(r *Registry) *http.ServeMux {
 // even the very first snapshot enumerates every series the process can
 // emit (all zeros until the corresponding code path runs).
 func Serve(addr string, r *Registry) (net.Addr, func() error, error) {
+	return ServeMux(addr, r, nil)
+}
+
+// ServeMux is Serve with an extension hook: when register is non-nil it
+// may add handlers (health endpoints, admin surfaces) to the mux before
+// the server starts. The standard /metrics and /debug/pprof/ routes are
+// installed first, so an extension cannot shadow them accidentally
+// without panicking on the duplicate pattern.
+func ServeMux(addr string, r *Registry, register func(*http.ServeMux)) (net.Addr, func() error, error) {
 	MustPreRegister(r)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, err
 	}
-	srv := &http.Server{Handler: NewMux(r), ReadHeaderTimeout: 5 * time.Second}
+	mux := NewMux(r)
+	if register != nil {
+		register(mux)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go srv.Serve(ln)
 	return ln.Addr(), srv.Close, nil
 }

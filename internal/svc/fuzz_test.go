@@ -1,0 +1,57 @@
+package svc
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzSvcConfig fuzzes the reload parser: any byte string must either
+// produce a Config that passes Validate (parse and validation agree) or
+// a descriptive error — never a panic, and never a config that violates
+// the invariants the admission path relies on (unique ids, positive
+// quotas, exactly one dataset source).
+func FuzzSvcConfig(f *testing.F) {
+	f.Add([]byte(`{"tenants": [{"id": "default", "synthetic": 100, "max_sessions": 4}]}`))
+	f.Add([]byte(`{"tenants": [
+		{"id": "default", "synthetic": 100, "max_sessions": 4},
+		{"id": "alpha", "dataset": "a.txt", "max_sessions": 1, "max_locations": 8}],
+		"max_in_flight": 32}`))
+	f.Add([]byte(`{"tenants": []}`))
+	f.Add([]byte(`{"tenants": [{"id": "a", "max_sessions": 0}]}`))
+	f.Add([]byte(`{"tenants": [{"id": "A B", "synthetic": -1, "max_sessions": 1}]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := ParseConfig(data)
+		if err != nil {
+			if cfg != nil {
+				t.Fatalf("error %v alongside a non-nil config", err)
+			}
+			return
+		}
+		// A returned config must hold every invariant Admit depends on.
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("ParseConfig accepted a config Validate rejects: %v", err)
+		}
+		seen := make(map[string]bool)
+		for _, tc := range cfg.Tenants {
+			if tc.ID == "" || len(tc.ID) > 64 {
+				t.Fatalf("invalid tenant id %q survived", tc.ID)
+			}
+			if strings.ContainsAny(tc.ID, " \t\n\"") {
+				t.Fatalf("tenant id %q has unsafe characters", tc.ID)
+			}
+			if seen[tc.ID] {
+				t.Fatalf("duplicate tenant id %q survived", tc.ID)
+			}
+			seen[tc.ID] = true
+			if tc.MaxSessions <= 0 {
+				t.Fatalf("non-positive quota %d survived", tc.MaxSessions)
+			}
+			if (tc.Dataset == "") == (tc.Synthetic == 0) {
+				t.Fatalf("tenant %q does not have exactly one dataset source", tc.ID)
+			}
+		}
+	})
+}

@@ -1,0 +1,35 @@
+package svc
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// RegisterHealth installs the health surface on a mux (the metrics mux
+// via obs.ServeMux):
+//
+//	/healthz  liveness — 200 as long as the process can answer HTTP at
+//	          all, draining and reloading included. A supervisor kills
+//	          on failure, so this only fails when the process is truly
+//	          wedged.
+//	/readyz   readiness — 200 only in the "ready" state. It flips to 503
+//	          during a reload swap, stays 503 after the crash-budget
+//	          watchdog trips, and goes 503 for good once draining
+//	          starts, so load balancers stop routing before the listener
+//	          disappears.
+//
+// Both respond with the state name in the body, which is drawn from a
+// four-value set ("ready", "reloading", "draining", "failed") — no
+// config or tenant data leaks through a health probe.
+func (s *Service) RegisterHealth(mux *http.ServeMux) {
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, req *http.Request) {
+		state := s.State()
+		if state != "ready" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		fmt.Fprintln(w, state)
+	})
+}

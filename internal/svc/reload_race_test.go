@@ -1,0 +1,176 @@
+package svc
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"ppgnn/internal/core"
+	"ppgnn/internal/geo"
+	"ppgnn/internal/obs"
+	"ppgnn/internal/transport"
+)
+
+// TestSIGHUPReloadStorm is the satellite race test: real SIGHUPs drive
+// config reloads — some valid, some rejected — while client sessions run
+// concurrently against both tenants. Under -race this exercises the
+// epoch swap against live admissions. Invariants:
+//
+//   - no in-flight query is dropped: every client session succeeds
+//     (quotas are generous, so nothing should legitimately shed);
+//   - readiness flips during each swap and recovers to ready;
+//   - old epochs are released once their sessions drain (no LSP leak).
+func TestSIGHUPReloadStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reload storm needs real signals and concurrent crypto sessions")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "svc.json")
+	writeCfg := func(doc string) {
+		t.Helper()
+		if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	valid := func(quota int) string {
+		return fmt.Sprintf(`{"tenants": [
+			{"id": "default", "synthetic": 300, "seed": 3, "max_sessions": %d},
+			{"id": "alpha", "synthetic": 300, "seed": 7, "max_sessions": %d}]}`, quota, quota)
+	}
+	writeCfg(valid(32))
+
+	reg := obs.NewRegistry()
+	cfg, err := LoadConfigFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(cfg, Options{ConfigPath: path, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := transport.NewServer(nil)
+	srv.Admitter = s
+	srv.OnSessionPanic = s.OnSessionPanic
+	srv.Obs = reg
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	// The SIGHUP handler a real deployment runs: each signal re-reads the
+	// config; rejected reloads are logged and dropped.
+	hup := make(chan os.Signal, 8)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	handlerDone := make(chan struct{})
+	go func() {
+		defer close(handlerDone)
+		for range hup {
+			s.Reload() // bad files reject; the storm keeps going
+		}
+	}()
+
+	reloadsSeen := func() int64 {
+		return reg.Counter("svc_reloads_total", obs.L("result", "applied")).Value() +
+			reg.Counter("svc_reloads_total", obs.L("result", "rejected")).Value()
+	}
+
+	// Client fleet: four workers alternating tenants, each reusing one
+	// prebuilt query through a retrying pool.
+	const workers, queriesPer = 4, 3
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*queriesPer)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g, err := core.NewGroup(testParams(2),
+				[]geo.Point{{X: 0.2 + float64(w)/10, Y: 0.3}, {X: 0.4, Y: 0.5 + float64(w)/20}},
+				rand.New(rand.NewSource(int64(50+w))))
+			if err != nil {
+				errs <- err
+				return
+			}
+			q, locs, err := g.BuildQuery(nil)
+			if err != nil {
+				errs <- err
+				return
+			}
+			pool := transport.NewPool(addr.String())
+			pool.Obs = reg
+			pool.Seed = int64(w + 1)
+			if w%2 == 1 {
+				pool.Tenant = "alpha"
+			}
+			defer pool.Close()
+			for i := 0; i < queriesPer; i++ {
+				if _, err := pool.Process(q, locs); err != nil {
+					errs <- fmt.Errorf("worker %d query %d: %w", w, i, err)
+				}
+			}
+		}(w)
+	}
+
+	// The storm: alternate valid quota flips with an occasional corrupt
+	// file, each pushed via a real SIGHUP. Wait for each signal to land
+	// (reload counter moves) so none coalesce away.
+	const storms = 5
+	for i := 0; i < storms; i++ {
+		if i == 2 {
+			writeCfg(`{"tenants": [{]`) // rejected: old epoch keeps serving
+		} else {
+			writeCfg(valid(32 + i))
+		}
+		before := reloadsSeen()
+		if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for reloadsSeen() == before {
+			if time.Now().After(deadline) {
+				t.Fatalf("SIGHUP %d never produced a reload", i)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	signal.Stop(hup)
+	close(hup)
+	<-handlerDone
+
+	if got := reg.Counter("svc_reloads_total", obs.L("result", "applied")).Value(); got != storms-1 {
+		t.Errorf("applied reloads = %d, want %d", got, storms-1)
+	}
+	if got := reg.Counter("svc_reloads_total", obs.L("result", "rejected")).Value(); got != 1 {
+		t.Errorf("rejected reloads = %d, want 1", got)
+	}
+	if s.Epoch() != storms { // initial apply + (storms-1) applied reloads
+		t.Errorf("epoch = %d, want %d", s.Epoch(), storms)
+	}
+	if !s.Ready() {
+		t.Errorf("service %q after the storm, want ready", s.State())
+	}
+	// Old epochs must drain to exactly one once every session released.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.LiveEpochs() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d epochs still live after drain (LSP leak)", s.LiveEpochs())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if n := s.InFlight(); n != 0 {
+		t.Errorf("in-flight %d after drain", n)
+	}
+}

@@ -1,0 +1,47 @@
+package svc
+
+import (
+	"sync"
+	"time"
+)
+
+// watchdog is the crash budget: a sliding window of recovered session
+// panic timestamps. One panic is a malformed query and is already
+// contained by the transport's per-session recover; budget panics inside
+// window mean something systemic (a poisoned dataset, corrupted process
+// state, an input that crashes every retry), and the right move is to go
+// unready and let the supervisor restart a clean process.
+type watchdog struct {
+	budget int
+	window time.Duration
+
+	mu      sync.Mutex
+	tripped bool
+	times   []time.Time
+}
+
+// record adds one panic at now and reports whether this one tripped the
+// budget (true exactly once).
+func (w *watchdog) record(now time.Time) bool {
+	if w.budget < 0 {
+		return false
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.tripped {
+		return false
+	}
+	cut := now.Add(-w.window)
+	kept := w.times[:0]
+	for _, t := range w.times {
+		if t.After(cut) {
+			kept = append(kept, t)
+		}
+	}
+	w.times = append(kept, now)
+	if len(w.times) >= w.budget {
+		w.tripped = true
+		return true
+	}
+	return false
+}

@@ -25,11 +25,18 @@ type MemberServer struct {
 	Logf func(format string, args ...interface{})
 	// ReadTimeout bounds the wait for each request frame (default 30s).
 	ReadTimeout time.Duration
+	// OnAcceptExit, when set, receives the accept loop's exit exactly
+	// once: nil after a deliberate Close, the listener's terminal error
+	// otherwise. Before this hook existed the loop could only end
+	// silently — a member whose listener died externally just stopped
+	// serving and nobody learned why. Set it before Listen/Serve.
+	OnAcceptExit func(err error)
 
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]struct{}
 	closed   bool
+	exitOnce sync.Once
 }
 
 // NewMemberServer wraps a member handler.
@@ -56,6 +63,35 @@ func (s *MemberServer) Serve(ln net.Listener) net.Addr {
 	return ln.Addr()
 }
 
+// Addr returns the bound address, or an error before Listen/Serve.
+func (s *MemberServer) Addr() (net.Addr, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener == nil {
+		return nil, errors.New("transport: member server is not listening")
+	}
+	return s.listener.Addr(), nil
+}
+
+// isTemporary reports whether err advertises itself as a transient
+// condition. net.Error.Temporary is deprecated for general use, but for
+// accept-loop errors specifically it still means exactly what we need:
+// ECONNABORTED-class failures that the next Accept may not see.
+func isTemporary(err error) bool {
+	t, ok := err.(interface{ Temporary() bool })
+	return ok && t.Temporary()
+}
+
+// reportAcceptExit delivers the accept loop's terminal condition to the
+// OnAcceptExit hook, at most once.
+func (s *MemberServer) reportAcceptExit(err error) {
+	s.exitOnce.Do(func() {
+		if s.OnAcceptExit != nil {
+			s.OnAcceptExit(err)
+		}
+	})
+}
+
 func (s *MemberServer) acceptLoop(ln net.Listener) {
 	for {
 		conn, err := ln.Accept()
@@ -63,12 +99,29 @@ func (s *MemberServer) acceptLoop(ln net.Listener) {
 			s.mu.Lock()
 			closed := s.closed
 			s.mu.Unlock()
-			if closed || errors.Is(err, net.ErrClosed) {
+			if closed {
+				s.reportAcceptExit(nil)
 				return
 			}
-			s.logf("member accept: %v (retrying)", err)
-			time.Sleep(10 * time.Millisecond)
-			continue
+			if errors.Is(err, net.ErrClosed) {
+				// Closed out from under us — not by Close. The member is
+				// no longer reachable; that must surface, not vanish.
+				s.logf("member accept: listener closed externally")
+				s.reportAcceptExit(err)
+				return
+			}
+			// Kernel-transient accept failures (ECONNABORTED, fd
+			// pressure, injected faults) must not kill the accept loop;
+			// anything else is a dead listener and ends it loudly.
+			var ne net.Error
+			if errors.As(err, &ne) && (ne.Timeout() || isTemporary(ne)) {
+				s.logf("member accept: %v (retrying)", err)
+				time.Sleep(10 * time.Millisecond)
+				continue
+			}
+			s.logf("member accept: %v (terminal)", err)
+			s.reportAcceptExit(err)
+			return
 		}
 		s.mu.Lock()
 		if s.closed {

@@ -54,6 +54,10 @@ type Pool struct {
 	// QueryTimeout bounds one Process call end to end, retries and
 	// backoff included (0 = unbounded).
 	QueryTimeout time.Duration
+	// Tenant routes every session of this pool to a named tenant of a
+	// multi-tenant server ("" or DefaultTenant = the default tenant, no
+	// extra frame on the wire).
+	Tenant string
 	// Meter, when set, counts the bytes of every attempt — retried
 	// sessions cost real cellular traffic, so resends are not netted out.
 	Meter *cost.Meter
@@ -150,8 +154,12 @@ func (p *Pool) Process(q *core.QueryMsg, locs []*core.LocationMsg) (ans *core.An
 	attempts := 0
 	for attempt := 0; attempt <= retries; attempt++ {
 		if attempt > 0 {
-			p.mRetries(causeLabel(attemptErrs[len(attemptErrs)-1])).Inc()
-			if berr := p.backoff(ctx, attempt); berr != nil {
+			last := attemptErrs[len(attemptErrs)-1]
+			p.mRetries(causeLabel(last)).Inc()
+			// A shed server may suggest how long to stay away; honor the
+			// hint as the backoff floor (clamped to RetryMax).
+			floor, _ := core.RetryAfterHint(last)
+			if berr := p.backoff(ctx, attempt, floor); berr != nil {
 				// Deadline exhausted mid-backoff: record it alongside the
 				// attempts it interrupted.
 				attemptErrs = append(attemptErrs, berr)
@@ -170,7 +178,7 @@ func (p *Pool) Process(q *core.QueryMsg, locs []*core.LocationMsg) (ans *core.An
 			attemptErrs = append(attemptErrs, fmt.Errorf("attempt %d: %w", attempts, aerr))
 			continue
 		}
-		ans, serr := runSession(ctx, conn, q, locs, p.Meter)
+		ans, serr := runSession(ctx, conn, p.Tenant, q, locs, p.Meter)
 		if serr == nil {
 			p.release(conn)
 			return ans, nil
@@ -192,10 +200,10 @@ func (p *Pool) Process(q *core.QueryMsg, locs []*core.LocationMsg) (ans *core.An
 func sessionOutcome(err error) string {
 	var re *core.RemoteError
 	if errors.As(err, &re) {
-		switch re.Msg {
-		case core.BusyMessage:
+		switch {
+		case core.IsBusyMessage(re.Msg):
 			return "busy"
-		case core.DrainingMessage:
+		case core.IsDrainingMessage(re.Msg):
 			return "drain"
 		default:
 			return "remote"
@@ -208,10 +216,10 @@ func sessionOutcome(err error) string {
 func causeLabel(err error) string {
 	var re *core.RemoteError
 	if errors.As(err, &re) {
-		switch re.Msg {
-		case core.BusyMessage:
+		switch {
+		case core.IsBusyMessage(re.Msg):
 			return "busy"
-		case core.DrainingMessage:
+		case core.IsDrainingMessage(re.Msg):
 			return "draining"
 		default:
 			return "remote"
@@ -220,10 +228,12 @@ func causeLabel(err error) string {
 	return obs.Cause(err)
 }
 
-// backoff sleeps for the attempt's jittered exponential delay, or fails
-// when the context expires first.
-func (p *Pool) backoff(ctx context.Context, attempt int) error {
-	p.mBackoff.Inc()
+// retryDelay computes one attempt's backoff: the jittered exponential
+// delay, raised to the server-suggested floor (clamped to RetryMax) when
+// the previous rejection carried a retry-after hint. The floor only ever
+// lengthens the wait — a hinted server is a server that measured its own
+// overload, and returning earlier than it asked just earns another shed.
+func (p *Pool) retryDelay(attempt int, floor time.Duration) time.Duration {
 	d := p.RetryBase << (attempt - 1)
 	if d > p.RetryMax || d <= 0 {
 		d = p.RetryMax
@@ -234,7 +244,20 @@ func (p *Pool) backoff(ctx context.Context, attempt int) error {
 	// the sequence deterministic under Seed.
 	d = d/2 + time.Duration(p.rng.Int63n(int64(d/2)+1))
 	p.mu.Unlock()
-	t := time.NewTimer(d)
+	if floor > p.RetryMax {
+		floor = p.RetryMax
+	}
+	if d < floor {
+		d = floor
+	}
+	return d
+}
+
+// backoff sleeps for the attempt's delay (see retryDelay), or fails when
+// the context expires first.
+func (p *Pool) backoff(ctx context.Context, attempt int, floor time.Duration) error {
+	p.mBackoff.Inc()
+	t := time.NewTimer(p.retryDelay(attempt, floor))
 	defer t.Stop()
 	select {
 	case <-ctx.Done():

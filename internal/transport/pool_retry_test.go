@@ -171,6 +171,114 @@ func TestPoolRetryOrderings(t *testing.T) {
 	}
 }
 
+// TestRetryDelayFloor drives retryDelay through the hint/no-hint cases:
+// the jittered exponential delay is raised to the server's retry-after
+// floor, the floor is clamped to RetryMax, and an absent or smaller floor
+// leaves the jitter window untouched.
+func TestRetryDelayFloor(t *testing.T) {
+	cases := []struct {
+		name     string
+		base     time.Duration
+		max      time.Duration
+		attempt  int
+		floor    time.Duration
+		min, cap time.Duration // delay must land in [min, cap]
+	}{
+		{
+			name: "no hint keeps jitter window",
+			base: 40 * time.Millisecond, max: 2 * time.Second,
+			attempt: 1, floor: 0,
+			min: 20 * time.Millisecond, cap: 40 * time.Millisecond,
+		},
+		{
+			name: "hint below jitter window is a no-op",
+			base: 40 * time.Millisecond, max: 2 * time.Second,
+			attempt: 1, floor: 5 * time.Millisecond,
+			min: 20 * time.Millisecond, cap: 40 * time.Millisecond,
+		},
+		{
+			name: "hint raises a short delay",
+			base: 40 * time.Millisecond, max: 2 * time.Second,
+			attempt: 1, floor: 300 * time.Millisecond,
+			min: 300 * time.Millisecond, cap: 300 * time.Millisecond,
+		},
+		{
+			name: "hint clamped to RetryMax",
+			base: 40 * time.Millisecond, max: 500 * time.Millisecond,
+			attempt: 1, floor: time.Hour,
+			min: 500 * time.Millisecond, cap: 500 * time.Millisecond,
+		},
+		{
+			name: "later attempt already past the hint",
+			base: 400 * time.Millisecond, max: 2 * time.Second,
+			attempt: 3, floor: 100 * time.Millisecond,
+			min: 800 * time.Millisecond, cap: 1600 * time.Millisecond,
+		},
+		{
+			name: "overflowed exponent saturates at RetryMax",
+			base: time.Second, max: 2 * time.Second,
+			attempt: 40, floor: 0,
+			min: time.Second, cap: 2 * time.Second,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := NewPool("unused")
+			p.RetryBase = c.base
+			p.RetryMax = c.max
+			p.init()
+			// The jitter is deterministic under Seed but the bound is the
+			// contract; sample repeatedly to exercise the window.
+			for i := 0; i < 64; i++ {
+				d := p.retryDelay(c.attempt, c.floor)
+				if d < c.min || d > c.cap {
+					t.Fatalf("retryDelay(attempt=%d, floor=%v) = %v, want in [%v, %v]",
+						c.attempt, c.floor, d, c.min, c.cap)
+				}
+			}
+		})
+	}
+}
+
+// TestPoolHonorsRetryAfterHint end-to-end: a shed reply carrying a
+// retry-after hint must hold the pool back at least that long before the
+// resend, even when its own backoff schedule would retry much sooner.
+func TestPoolHonorsRetryAfterHint(t *testing.T) {
+	_, addr := startServer(t, 500)
+	g, err := core.NewGroup(testParams(2, core.VariantPPGNN),
+		[]geo.Point{{X: 0.2, Y: 0.4}, {X: 0.3, Y: 0.5}}, rand.New(rand.NewSource(24)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, lms, err := g.BuildQuery(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const hint = 250 * time.Millisecond
+	pool := fastPool(addr) // RetryBase 1ms: without the floor, retry is near-instant
+	pool.RetryMax = time.Second
+	defer pool.Close()
+	var n int32
+	pool.DialFunc = func(string) (net.Conn, error) {
+		if atomic.AddInt32(&n, 1) == 1 {
+			return rejectingConn(core.BusyReply(hint)), nil
+		}
+		return net.Dial("tcp", addr)
+	}
+	start := time.Now()
+	ans, err := pool.Process(q, lms)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("Process: %v", err)
+	}
+	if ans == nil {
+		t.Fatal("nil answer")
+	}
+	if elapsed < hint {
+		t.Fatalf("retried after %v, server asked for at least %v", elapsed, hint)
+	}
+}
+
 // TestPoolDeadlineDuringDial: the dial itself hangs (SYN blackhole). The
 // query deadline must still fire on time, classify as a timeout, and not
 // leak the checked-out slot — the pool stays usable afterwards.

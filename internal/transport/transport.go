@@ -31,6 +31,44 @@ const DefaultMaxLocations = 4096
 // sessions before force-closing their connections.
 const DefaultDrainTimeout = 10 * time.Second
 
+// DefaultTenant is the tenant id a session lands on when it opens with a
+// FrameQuery directly instead of a FrameTenant — i.e. every client that
+// predates multi-tenancy.
+const DefaultTenant = "default"
+
+// SessionAdmitter routes and admission-controls query sessions; the
+// lifecycle layer (internal/svc) implements it over its tenant manager.
+// Admit is called once per session after the tenant id is known but
+// before the query is parsed. A nil error admits the session under the
+// returned grant; a *BusyError sheds it with a retryable busy reply
+// carrying the hint; any other error rejects it protocol-fatally (the
+// client sees a plain FrameError and does not retry).
+type SessionAdmitter interface {
+	Admit(tenantID string) (*SessionGrant, error)
+}
+
+// SessionGrant is one admitted session's lease: the LSP to serve it with,
+// the location cap to hold it to (0 = the server default), and a release
+// hook the server calls exactly once when the session ends, panics
+// included.
+type SessionGrant struct {
+	LSP          *core.LSP
+	MaxLocations int
+	Release      func()
+}
+
+// BusyError is a typed admission rejection: the session is shed with a
+// retryable busy reply, optionally carrying the server's suggested
+// retry-after on the wire (clients use it as a backoff floor).
+type BusyError struct {
+	RetryAfter time.Duration
+	Reason     string // closed "admission" enum: "quota" | "overload"
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("transport: session shed (%s, retry after %v)", e.Reason, e.RetryAfter)
+}
+
 // Server exposes an LSP over TCP using the frame protocol: per query
 // session the client sends one FrameQuery and n FrameLocation frames, then
 // the server replies with one FrameAnswer (or FrameError carrying a UTF-8
@@ -58,6 +96,15 @@ type Server struct {
 	// DrainTimeout bounds Close's wait for in-flight sessions (default
 	// DefaultDrainTimeout).
 	DrainTimeout time.Duration
+	// Admitter, when set, routes each session by its tenant frame and
+	// decides admission (per-tenant quotas, adaptive overload shedding);
+	// the grant's LSP and location cap then override this server's LSP
+	// and MaxLocations for that session. Without one the server is
+	// single-tenant: only the default tenant is served.
+	Admitter SessionAdmitter
+	// OnSessionPanic, when set, is invoked for every recovered
+	// per-session panic — the crash-budget watchdog's feed.
+	OnSessionPanic func()
 	// Obs receives the server's telemetry (nil = obs.Default): session
 	// outcomes, shed/drain/panic counters, frame-size histograms, and the
 	// "lsp" phase span around Algorithm 2. See DESIGN.md §9.
@@ -272,12 +319,13 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// serveQuery handles one query session: FrameQuery, n FrameLocations,
-// reply. A panic anywhere in the session (a malformed query tripping an
-// unguarded code path in the LSP) is converted into an error that ends
-// this connection only.
+// serveQuery handles one query session: an optional FrameTenant, then
+// FrameQuery, n FrameLocations, reply. A panic anywhere in the session (a
+// malformed query tripping an unguarded code path in the LSP) is
+// converted into an error that ends this connection only.
 func (s *Server) serveQuery(conn net.Conn) (err error) {
 	inSession := false
+	outcomeOverride := "" // non-empty wins over obs.Outcome(err)
 	defer func() {
 		if r := recover(); r != nil {
 			conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
@@ -285,8 +333,15 @@ func (s *Server) serveQuery(conn net.Conn) (err error) {
 			err = fmt.Errorf("transport: session panic: %v", r)
 			s.reg().Counter("transport_server_panics_total").Inc()
 			s.countSession("panic")
+			if s.OnSessionPanic != nil {
+				s.OnSessionPanic()
+			}
 		} else if inSession {
-			s.countSession(obs.Outcome(err))
+			if outcomeOverride != "" {
+				s.countSession(outcomeOverride)
+			} else {
+				s.countSession(obs.Outcome(err))
+			}
 		}
 		if inSession {
 			s.endSession(conn)
@@ -309,12 +364,56 @@ func (s *Server) serveQuery(conn net.Conn) (err error) {
 	if !s.beginSession(conn) {
 		conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
 		wire.WriteFrame(conn, core.FrameError, []byte(core.DrainingMessage))
-		s.countSession("drain")
+		s.discardClient(conn)
 		return fmt.Errorf("transport: draining, session rejected")
 	}
 	inSession = true
+	tenant := DefaultTenant
+	if typ == core.FrameTenant {
+		if len(payload) == 0 || len(payload) > core.MaxTenantIDLen {
+			return s.replyError(conn, fmt.Errorf("tenant frame of %d bytes (want 1..%d)", len(payload), core.MaxTenantIDLen))
+		}
+		tenant = string(payload)
+		if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			return err
+		}
+		typ, payload, err = wire.ReadFrame(conn)
+		if err != nil {
+			return fmt.Errorf("reading query after tenant frame: %w", err)
+		}
+		s.observeFrame("rx", len(payload))
+	}
 	if typ != core.FrameQuery {
 		return s.replyError(conn, fmt.Errorf("expected query frame, got %d", typ))
+	}
+	// Admission: routed and gated before the query is even parsed, so a
+	// shed session costs the server no crypto and no big.Int allocations.
+	lsp, maxLocs := s.LSP, s.MaxLocations
+	if s.Admitter != nil {
+		grant, aerr := s.Admitter.Admit(tenant)
+		if aerr != nil {
+			var be *BusyError
+			if errors.As(aerr, &be) {
+				outcomeOverride = "busy"
+				s.reg().Counter("transport_server_shed_total").Inc()
+				conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+				wire.WriteFrame(conn, core.FrameError, []byte(core.BusyReply(be.RetryAfter)))
+				s.discardClient(conn)
+				return fmt.Errorf("transport: %w", aerr)
+			}
+			return s.replyError(conn, aerr)
+		}
+		if grant.Release != nil {
+			defer grant.Release()
+		}
+		if grant.LSP != nil {
+			lsp = grant.LSP
+		}
+		if grant.MaxLocations > 0 {
+			maxLocs = grant.MaxLocations
+		}
+	} else if tenant != DefaultTenant {
+		return s.replyError(conn, fmt.Errorf("unknown tenant %q", tenant))
 	}
 	q, err := core.UnmarshalQuery(payload)
 	if err != nil {
@@ -333,7 +432,6 @@ func (s *Server) serveQuery(conn net.Conn) (err error) {
 		// prefixes the location frames with a count frame instead.
 		n = -1
 	}
-	maxLocs := s.MaxLocations
 	if maxLocs == 0 {
 		maxLocs = DefaultMaxLocations
 	}
@@ -374,7 +472,7 @@ func (s *Server) serveQuery(conn net.Conn) (err error) {
 	// The "lsp" span is Algorithm 2 as the provider experiences it:
 	// candidate enumeration, homomorphic selection, sanitation.
 	sp := s.reg().StartSpan("lsp")
-	ans, err := s.LSP.Process(q, locs, s.Meter)
+	ans, err := lsp.Process(q, locs, s.Meter)
 	sp.EndErr(err)
 	if err != nil {
 		return s.replyError(conn, err)
@@ -391,8 +489,21 @@ func (s *Server) replyError(conn net.Conn, cause error) error {
 	if err := wire.WriteFrame(conn, core.FrameError, []byte(cause.Error())); err != nil {
 		return err
 	}
+	s.discardClient(conn)
 	// Protocol errors poison the session framing; drop the connection.
 	return fmt.Errorf("wire: rejected query: %w", cause)
+}
+
+// discardClient drains what the client is still sending after the server
+// has rejected the session. Closing with unread bytes in the receive
+// buffer turns into a TCP reset that can destroy the error frame we just
+// wrote before the client reads it — a shed session would then surface
+// as a generic connection error instead of the typed retryable reply.
+// Both bounds are hard: a few seconds of wall clock and a byte budget,
+// so a client that streams forever cannot pin the connection.
+func (s *Server) discardClient(conn net.Conn) {
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	io.CopyN(io.Discard, conn, 1<<20)
 }
 
 // countingReader tracks how many bytes of the server's reply have been
@@ -409,9 +520,10 @@ func (c *countingReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// runSession performs one query session on conn: query frame, location
-// frames, optional end-of-locations sentinel, then the reply. The context
-// deadline bounds every frame exchange.
+// runSession performs one query session on conn: an optional tenant
+// frame, the query frame, location frames, optional end-of-locations
+// sentinel, then the reply. The context deadline bounds every frame
+// exchange.
 //
 // Error classification (see internal/core): every failure up to the first
 // reply byte is marked core.Retryable — the server either never saw the
@@ -420,7 +532,13 @@ func (c *countingReader) Read(p []byte) (int, error) {
 // first reply byte is left unmarked (the extremely rare mid-answer cut),
 // and a FrameError reply becomes a *core.RemoteError, retryable only for
 // the transient busy/draining messages.
-func runSession(ctx context.Context, conn net.Conn, q *core.QueryMsg, locs []*core.LocationMsg, meter *cost.Meter) (*core.AnswerMsg, error) {
+func runSession(ctx context.Context, conn net.Conn, tenant string, q *core.QueryMsg, locs []*core.LocationMsg, meter *cost.Meter) (*core.AnswerMsg, error) {
+	if tenant != "" && tenant != DefaultTenant {
+		if err := wire.WriteFrameCtx(ctx, conn, core.FrameTenant, []byte(tenant)); err != nil {
+			return nil, core.Retryable(err)
+		}
+		meter.AddBytes(cost.UserToLSP, len(tenant)+wire.FrameHeaderSize)
+	}
 	qb := q.Marshal()
 	if err := wire.WriteFrameCtx(ctx, conn, core.FrameQuery, qb); err != nil {
 		return nil, core.Retryable(err)
@@ -476,6 +594,10 @@ func runSession(ctx context.Context, conn net.Conn, q *core.QueryMsg, locs []*co
 type Client struct {
 	conn  net.Conn
 	Meter *cost.Meter // optional: counts bytes actually sent/received
+	// Tenant routes this client's sessions to a named tenant of a
+	// multi-tenant server ("" or DefaultTenant = the default tenant, no
+	// extra frame on the wire).
+	Tenant string
 }
 
 // Dial connects to a Server.
@@ -492,7 +614,7 @@ func (c *Client) Close() error { return c.conn.Close() }
 
 // Process implements core.Service over the TCP connection.
 func (c *Client) Process(q *core.QueryMsg, locs []*core.LocationMsg) (*core.AnswerMsg, error) {
-	return runSession(context.Background(), c.conn, q, locs, c.Meter)
+	return runSession(context.Background(), c.conn, c.Tenant, q, locs, c.Meter)
 }
 
 var _ core.Service = (*Client)(nil)
