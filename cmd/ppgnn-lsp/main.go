@@ -29,6 +29,14 @@
 //	                  -config) /healthz + /readyz on A
 //	                  (e.g. 127.0.0.1:9043; default off). The snapshot is
 //	                  privacy-safe by construction: DESIGN.md §9.
+//	-trace-sample F   head-sampling rate in [0,1] for locally originated
+//	                  traces (default 1). Wire-propagated trace ids are
+//	                  always honoured. The flight recorder serves the
+//	                  retained traces at /traces and /traces/slow on the
+//	                  metrics address; attributes are closed-enum buckets
+//	                  only (DESIGN.md §9).
+//	-trace-slow D     root duration at which a trace is retained in the
+//	                  always-kept slow/failed reservoir (default 1s)
 //
 // Signals: SIGHUP re-reads -config and swaps tenants atomically (a
 // rejected config keeps the old epoch serving); SIGINT/SIGTERM drain.
@@ -66,10 +74,18 @@ func main() {
 	crashBudget := flag.Int("crash-budget", 5, "session panics within -crash-window that fail the process (-1 disables)")
 	crashWindow := flag.Duration("crash-window", time.Minute, "crash-budget watchdog window")
 	metricsAddr := flag.String("metrics-addr", "", "serve JSON metrics snapshot, pprof, and health endpoints on this address (default off)")
+	traceSample := flag.Float64("trace-sample", 1, "head-sampling rate in [0,1] for locally originated traces")
+	traceSlow := flag.Duration("trace-slow", obs.DefaultSlowThreshold, "root duration at which a trace enters the slow/failed reservoir")
 	flag.Parse()
 	if *configPath != "" && (*datasetPath != "" || *seed != 1) {
 		fatal(fmt.Errorf("-config is the multi-tenant mode; -dataset and -seed belong to the single-tenant mode"))
 	}
+
+	// The flight recorder hangs off the default registry the transport
+	// layer records into; configure it before any session can start.
+	recorder := obs.Default().Recorder()
+	recorder.SetSampleRate(*traceSample)
+	recorder.SetSlowThreshold(*traceSlow)
 
 	// Flag semantics: 0 = GOMAXPROCS. The library keeps 0 = sequential
 	// (the paper's cost accounting), so resolve here and size the
@@ -93,6 +109,13 @@ func main() {
 			CrashBudget: *crashBudget,
 			CrashWindow: *crashWindow,
 			Logf:        log.Printf,
+			// Incident dumps (watchdog trip, rejected reload) land on
+			// stderr so the surrounding traces survive a process death.
+			TraceSink: func(d *obs.TraceDump) {
+				log.Printf("ppgnn-lsp: flight recorder dump (%s): %d recent, %d slow/failed traces",
+					d.Reason, len(d.Recent), len(d.Slow))
+				os.Stderr.Write(append(d.JSON(), '\n'))
+			},
 		})
 		if err != nil {
 			fatal(err)

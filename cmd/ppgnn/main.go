@@ -38,6 +38,14 @@
 //	-metrics-addr A  serve the JSON metrics snapshot and pprof on A for
 //	                 the process lifetime (default off); with -v the
 //	                 snapshot is also printed to stderr after the query
+//	-trace-sample F  head-sampling rate in [0,1] for the per-query trace
+//	                 (default 1). The trace id rides a FrameTrace to the
+//	                 remote LSP, whose flight recorder retains the
+//	                 server-side span tree under the same id.
+//	-trace-out F     after the query, write the client-side flight
+//	                 recorder contents (the trace tree: session, collect,
+//	                 partition, query, lsp, decrypt spans with closed-enum
+//	                 attributes only) as JSON to file F
 package main
 
 import (
@@ -80,12 +88,16 @@ func main() {
 	tenant := flag.String("tenant", "", "route -connect sessions to this tenant of a multi-tenant LSP (default: the default tenant)")
 	metricsAddr := flag.String("metrics-addr", "", "serve JSON metrics snapshot and pprof on this address (default off)")
 	workers := flag.Int("workers", 0, "worker-pool width for batch crypto and the in-process LSP (0 = all cores)")
+	traceSample := flag.Float64("trace-sample", 1, "head-sampling rate in [0,1] for the per-query trace")
+	traceOut := flag.String("trace-out", "", "write the client-side trace tree as JSON to this file after the query")
 	shortRandBits := flag.Int("short-rand-bits", 0, "short-exponent encryption randomness width (0 = full-width, paper-faithful; changes the security assumption, see SECURITY.md)")
 	flag.Parse()
 
 	// 0 = GOMAXPROCS at the flag layer; the resolved width sizes the
 	// process-default pool every batch crypto call draws from.
 	parallel.SetDefaultWorkers(*workers)
+
+	obs.Default().Recorder().SetSampleRate(*traceSample)
 
 	if *metricsAddr != "" {
 		maddr, stop, err := obs.Serve(*metricsAddr, obs.Default())
@@ -258,6 +270,14 @@ func main() {
 			fmt.Printf("  %2d. poi#%-8d (%.6f, %.6f)\n", i+1, res.Records[i].ID, pt.X, pt.Y)
 		} else {
 			fmt.Printf("  %2d. (%.6f, %.6f)\n", i+1, pt.X, pt.Y)
+		}
+	}
+	if *traceOut != "" {
+		// The flight recorder only holds closed-enum span trees, so the
+		// file is as privacy-safe as the /traces endpoint it mirrors.
+		d := obs.Default().Recorder().Dump("query")
+		if err := os.WriteFile(*traceOut, append(d.JSON(), '\n'), 0o644); err != nil {
+			fatal(err)
 		}
 	}
 	if *verbose {

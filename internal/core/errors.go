@@ -62,7 +62,9 @@ func BusyReply(retryAfter time.Duration) string {
 
 // IsBusyMessage reports whether a FrameError payload is a load shed,
 // with or without a retry-after suffix.
-func IsBusyMessage(msg string) bool { return msg == BusyMessage || strings.HasPrefix(msg, BusyMessage+retryAfterSep) }
+func IsBusyMessage(msg string) bool {
+	return msg == BusyMessage || strings.HasPrefix(msg, BusyMessage+retryAfterSep)
+}
 
 // IsDrainingMessage reports whether a FrameError payload is a drain
 // rejection.

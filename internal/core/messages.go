@@ -21,6 +21,14 @@ const (
 	// Sessions that skip it land on the default tenant, which keeps the
 	// pre-multi-tenant wire format valid byte for byte.
 	FrameTenant = byte(5)
+	// FrameTrace optionally precedes a session's first request frame on
+	// either protocol (client → LSP before FrameTenant/FrameQuery,
+	// coordinator → member before a request): its payload is the 8-byte
+	// big-endian crypto-random trace id. An absent frame means the query
+	// is untraced, so — like FrameTenant — the extension is wire
+	// compatible byte for byte. Tags 5–8 belong to the member protocol
+	// (member.go), hence 9.
+	FrameTrace = byte(9)
 )
 
 // MaxTenantIDLen bounds the FrameTenant payload; tenant ids are operator

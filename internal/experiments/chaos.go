@@ -48,6 +48,14 @@ type ChaosReport struct {
 	QuotaSheds int64 `json:"quota_sheds"`
 
 	Tenants []ChaosTenant `json:"tenants"`
+
+	// Traces audits the service's flight recorder after the storm:
+	// alpha's retried sessions and beta's quota sheds must all have left
+	// contract-clean traces. Check enforces it.
+	Traces *TraceAudit `json:"traces,omitempty"`
+	// IncidentDump is the recorder's contents when the gate's own checks
+	// failed, mirroring the production dump-on-incident path.
+	IncidentDump *obs.TraceDump `json:"incident_dump,omitempty"`
 }
 
 // ChaosTenant is one tenant's driver run.
@@ -368,6 +376,11 @@ func (c Config) ChaosGate(opts ChaosGateOptions) (*ChaosReport, error) {
 	for _, r := range runs {
 		rep.Tenants = append(rep.Tenants, ChaosTenant{Tenant: r.name, Faulted: r.faulted, Report: r.rep})
 	}
+	rep.Traces = auditTraces(reg.Recorder())
+	if err := rep.Check(); err != nil {
+		logf("chaos: gate failing (%v), dumping flight recorder", err)
+		rep.IncidentDump = reg.Recorder().Dump("slo_failed")
+	}
 	return rep, nil
 }
 
@@ -454,6 +467,9 @@ func (r *ChaosReport) Check() error {
 	}
 	if r.QuotaSheds == 0 {
 		return fmt.Errorf("chaos gate: server recorded no quota admissions despite %d client-side busys", betaBusy)
+	}
+	if err := r.Traces.Check("chaos gate"); err != nil {
+		return err
 	}
 	return nil
 }

@@ -62,6 +62,7 @@ func TestChaosReportCheckRejects(t *testing.T) {
 					Outcomes: map[string]int64{"ok": 8, "busy": 2},
 				}}}},
 			},
+			Traces: &TraceAudit{Traces: 3, Remote: 3},
 		}
 		mut(r)
 		return r
@@ -93,6 +94,10 @@ func TestChaosReportCheckRejects(t *testing.T) {
 			r.Tenants[1].Report.Stages[0].Outcomes = map[string]int64{"ok": 10}
 		}), "no sheds"},
 		{"no server sheds", mk(func(r *ChaosReport) { r.QuotaSheds = 0 }), "no quota admissions"},
+		{"no trace audit", mk(func(r *ChaosReport) { r.Traces = nil }), "trace audit"},
+		{"trace violation", mk(func(r *ChaosReport) {
+			r.Traces.Violations = []string{`trace 0abc: phase "decrypt_user_3" outside the closed enum`}
+		}), "violation"},
 	}
 	for _, c := range cases {
 		err := c.rep.Check()

@@ -26,6 +26,14 @@ type LoadReport struct {
 	KeyBits int        `json:"keybits"`
 	Cores   int        `json:"cores"` // runtime.NumCPU, honest
 	Passes  []LoadPass `json:"passes"`
+	// Traces audits the server-side flight recorder after both passes:
+	// every retained trace must carry only closed-enum attributes and
+	// account for its measured wall time. Check enforces it.
+	Traces *TraceAudit `json:"traces,omitempty"`
+	// IncidentDump is the flight recorder's contents at the moment an
+	// SLO check failed — the traces around the failure, preserved in the
+	// report the way a production watchdog dump would be.
+	IncidentDump *obs.TraceDump `json:"incident_dump,omitempty"`
 }
 
 // LoadPass is one driver run plus the verdict of its SLO.
@@ -120,6 +128,10 @@ func (c Config) LoadGate(opts LoadGateOptions) (*LoadReport, error) {
 
 	lsp := core.NewLSP(c.Items, c.Space)
 	srv := transport.NewServer(lsp)
+	// Isolated server registry: the trace audit below must see exactly
+	// this run's traces, not whatever else the process recorded.
+	reg := obs.NewRegistry()
+	srv.Obs = reg
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("load gate: %w", err)
@@ -198,9 +210,13 @@ func (c Config) LoadGate(opts LoadGateOptions) (*LoadReport, error) {
 		pass := LoadPass{Name: p.name, Faulted: p.faulted, SLO: p.slo.String(), Report: run}
 		if err := p.slo.Check(run); err != nil {
 			pass.SLOViolation = err.Error()
+			// A failed SLO dumps the flight recorder: the traces behind
+			// the violated percentiles ride along in the report.
+			rep.IncidentDump = reg.Recorder().Dump("slo_failed")
 		}
 		rep.Passes = append(rep.Passes, pass)
 	}
+	rep.Traces = auditTraces(reg.Recorder())
 	return rep, nil
 }
 
@@ -220,6 +236,9 @@ func (r *LoadReport) Check(baseline *LoadReport) error {
 		if p.SLOViolation != "" {
 			return fmt.Errorf("load gate: %s pass failed its SLO: %s", p.Name, p.SLOViolation)
 		}
+	}
+	if err := r.Traces.Check("load gate"); err != nil {
+		return err
 	}
 	if baseline == nil || baseline.Cores != r.Cores {
 		return nil

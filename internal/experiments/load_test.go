@@ -82,7 +82,7 @@ func TestLoadReportCheckRejects(t *testing.T) {
 				Stage: "measure", Arrivals: 10, Done: 10, OK: 10,
 				LatencyP95: 0.1, OfferedQPS: 10, AchievedQPS: 10,
 			}}},
-		}}}
+		}}, Traces: &TraceAudit{Traces: 1, Remote: 1}}
 		mut(r)
 		return r
 	}
@@ -99,6 +99,10 @@ func TestLoadReportCheckRejects(t *testing.T) {
 		{"mismatch", mk(func(r *LoadReport) { r.Passes[0].Report.Stages[0].Mismatches = 1 }), nil, "oracle"},
 		{"slo", mk(func(r *LoadReport) { r.Passes[0].SLOViolation = "p95 too slow" }), nil, "SLO"},
 		{"empty", &LoadReport{}, nil, "no passes"},
+		{"no trace audit", mk(func(r *LoadReport) { r.Traces = nil }), nil, "trace audit"},
+		{"trace violation", mk(func(r *LoadReport) {
+			r.Traces.Violations = []string{`trace 0abc: attribute "city"="x" outside the closed catalog`}
+		}), nil, "violation"},
 		{"p95 blowout", mk(func(r *LoadReport) { r.Passes[0].Report.Stages[0].LatencyP95 = 0.6 }),
 			mk(func(r *LoadReport) {}), "p95"},
 		{"qps collapse", mk(func(r *LoadReport) { r.Passes[0].Report.Stages[0].AchievedQPS = 3 }),

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"ppgnn/internal/obs"
+)
+
+// traceSlack is the timing tolerance the gates grant a trace tree:
+// sibling spans are recorded sequentially, so the sum of a span's
+// direct children may only exceed the parent by scheduler noise.
+const traceSlack = 100 * time.Millisecond
+
+// TraceAudit is the gates' verdict on the server-side flight recorder:
+// the retained trace population and every way it violated the
+// observability contract. A gate's Check fails on any violation — the
+// traces must exist (the wire propagation worked), carry only
+// closed-enum attributes (the privacy contract held), and account for
+// the wall time their parents measured (the timing is honest).
+type TraceAudit struct {
+	Traces     int `json:"traces"`
+	SlowTraces int `json:"slow_traces"`
+	// Remote counts traces whose id arrived via FrameTrace — for a gate
+	// driving a server over TCP, that should be all of them.
+	Remote     int      `json:"remote"`
+	Violations []string `json:"violations,omitempty"`
+}
+
+// auditTraces inspects a recorder's retained traces. Passing the slow
+// reservoir through the same span checks keeps failed traces honest too.
+func auditTraces(rec *obs.Recorder) *TraceAudit {
+	a := &TraceAudit{}
+	recent, slow := rec.Snapshot(), rec.SlowSnapshot()
+	a.Traces, a.SlowTraces = len(recent), len(slow)
+	if a.Traces == 0 {
+		a.Violations = append(a.Violations, "no traces retained: wire propagation or recording is broken")
+	}
+	for _, set := range [][]*obs.TraceSnap{recent, slow} {
+		for _, t := range set {
+			if t.Remote {
+				a.Remote++
+			}
+			if t.Root == nil {
+				a.Violations = append(a.Violations, fmt.Sprintf("trace %s: no root span", t.TraceID))
+				continue
+			}
+			auditSpan(a, t.TraceID, t.Root)
+		}
+	}
+	// Both stores can retain the same trace; Remote counts each copy, so
+	// clamp to the population for the report's sanity.
+	if total := a.Traces + a.SlowTraces; a.Remote > total {
+		a.Remote = total
+	}
+	return a
+}
+
+// auditSpan checks one span and recurses: enums closed, attributes in
+// the trace-attribute catalog, and the children's wall time accounted
+// for by the parent.
+func auditSpan(a *TraceAudit, id string, s *obs.SpanSnap) {
+	if !obs.AllowedValues("phase", s.Phase) {
+		a.Violations = append(a.Violations, fmt.Sprintf("trace %s: phase %q outside the closed enum", id, s.Phase))
+	}
+	if !obs.AllowedValues("outcome", s.Outcome) {
+		a.Violations = append(a.Violations, fmt.Sprintf("trace %s: outcome %q outside the closed enum", id, s.Outcome))
+	}
+	for k, v := range s.Attrs {
+		if !obs.AllowedTraceAttr(k, v) {
+			a.Violations = append(a.Violations, fmt.Sprintf("trace %s: attribute %q=%q outside the closed catalog", id, k, v))
+		}
+	}
+	var children float64
+	for _, c := range s.Children {
+		children += c.Seconds
+		if c.Seconds > s.Seconds+traceSlack.Seconds() {
+			a.Violations = append(a.Violations, fmt.Sprintf(
+				"trace %s: %s span (%.4fs) outlasts its parent %s (%.4fs)", id, c.Phase, c.Seconds, s.Phase, s.Seconds))
+		}
+		auditSpan(a, id, c)
+	}
+	if children > s.Seconds+traceSlack.Seconds() {
+		a.Violations = append(a.Violations, fmt.Sprintf(
+			"trace %s: %s children sum to %.4fs, parent measured only %.4fs", id, s.Phase, children, s.Seconds))
+	}
+}
+
+// Check fails on a missing or violated audit.
+func (a *TraceAudit) Check(gate string) error {
+	if a == nil {
+		return fmt.Errorf("%s: report carries no trace audit", gate)
+	}
+	if len(a.Violations) > 0 {
+		return fmt.Errorf("%s: %d trace violation(s), first: %s", gate, len(a.Violations), a.Violations[0])
+	}
+	return nil
+}

@@ -74,6 +74,12 @@ func (l *ProcLink) Send(ctx context.Context, msgType byte, payload []byte) error
 	if closed {
 		return fmt.Errorf("group: link closed")
 	}
+	if msgType == core.FrameTrace {
+		// Trace-context frames are one-way: absorbed without a reply, so
+		// the session's request/reply pairing stays intact and handlers
+		// never see a frame type they predate.
+		return nil
+	}
 	go func() {
 		rt, rp, err := l.H.Handle(msgType, payload)
 		if err != nil {
@@ -219,6 +225,10 @@ func ServeConn(conn net.Conn, h Handler) error {
 		typ, payload, err := wire.ReadFrame(conn)
 		if err != nil {
 			return err
+		}
+		if typ == core.FrameTrace {
+			// One-way trace announcement: no reply (see ProcLink.Send).
+			continue
 		}
 		rt, rp, err := h.Handle(typ, payload)
 		if err != nil {

@@ -136,6 +136,12 @@ type Session struct {
 	// exchanges; workers call AddRetry on it. It is written only between
 	// phases, after every worker of the previous phase has been joined.
 	curSpan *obs.Span
+	// trace is the session's head-sampled per-query trace (nil =
+	// untraced); collectNode is the live "collect" trace node while the
+	// collect loop runs, so partition spans nest under it. Both follow
+	// curSpan's single-writer discipline.
+	trace       *obs.Trace
+	collectNode *obs.TraceSpan
 }
 
 // NewSession wires a coordinator to its member links. links[i] reaches
@@ -271,14 +277,21 @@ func (s *Session) Run(ctx context.Context, svc core.Service) (out *Outcome, err 
 	if s.phase != PhaseInit {
 		return s.outcome(nil, nil, 0), fmt.Errorf("group: session already run (phase %s)", s.phase)
 	}
-	sess := s.reg.StartSpan("session")
+	// One head-sampled trace per session: the root node doubles as the
+	// "session" span's trace mirror, so ending the span completes the
+	// trace and files it with the flight recorder.
+	tr := s.reg.Recorder().Start("session")
+	s.trace = tr
+	sess := s.reg.StartSpan("session").Attach(tr.Root())
 	defer func() { sess.End(groupOutcome(err)) }()
 
 	s.phase = PhaseCollect
-	sp := s.reg.StartSpan("collect")
+	s.collectNode = tr.Root().Child("collect")
+	sp := s.reg.StartSpan("collect").Attach(s.collectNode)
 	s.curSpan = sp
 	plan, locs, contributors, err := s.collect(ctx)
 	s.curSpan = nil
+	s.collectNode = nil
 	sp.End(groupOutcome(err))
 	if err != nil {
 		s.phase = PhaseFailed
@@ -287,7 +300,8 @@ func (s *Session) Run(ctx context.Context, svc core.Service) (out *Outcome, err 
 	rounds := s.round
 
 	s.phase = PhaseQuery
-	qsp := s.reg.StartSpan("query")
+	qnode := tr.Root().Child("query")
+	qsp := s.reg.StartSpan("query").Attach(qnode)
 	qm, err := s.coord.BuildQuery(plan, s.cfg.Meter)
 	if err != nil {
 		qsp.End(groupOutcome(err))
@@ -298,7 +312,10 @@ func (s *Session) Run(ctx context.Context, svc core.Service) (out *Outcome, err 
 	for _, lm := range locs {
 		s.cfg.Meter.AddBytes(cost.UserToLSP, len(lm.Marshal()))
 	}
-	ans, perr := svc.Process(qm, locs)
+	// Traced sessions hand the query node across the Service boundary:
+	// transport clients propagate the id to the LSP on the wire,
+	// LocalService annotates the LSP attributes directly.
+	ans, perr := core.ProcessMaybeTraced(svc, tr.Context(qnode), qm, locs)
 	qsp.End(groupOutcome(perr))
 	if perr != nil {
 		s.phase = PhaseFailed
@@ -308,7 +325,7 @@ func (s *Session) Run(ctx context.Context, svc core.Service) (out *Outcome, err 
 	s.cfg.Meter.AddBytes(cost.LSPToUser, len(ans.Marshal()))
 
 	s.phase = PhaseDecrypt
-	dsp := s.reg.StartSpan("decrypt")
+	dsp := s.reg.StartSpan("decrypt").Attach(tr.Root().Child("decrypt"))
 	s.curSpan = dsp
 	records, err := s.decrypt(ctx, ans)
 	s.curSpan = nil
@@ -340,7 +357,7 @@ func (s *Session) collect(ctx context.Context) (*core.RoundPlan, []*core.Locatio
 		if n < s.quorum {
 			return nil, nil, nil, s.quorumLost("contribute", s.quorum, n)
 		}
-		psp := s.reg.StartSpan("partition")
+		psp := s.reg.StartSpan("partition").Attach(s.collectNode.Child("partition"))
 		plan, err := s.coord.Plan(n)
 		psp.EndErr(err)
 		if err != nil {
@@ -661,6 +678,16 @@ func (s *Session) call(ctx context.Context, m *memberState, round int, reqType b
 // classify accepts, ejects, or the attempt deadline kills the read.
 func (s *Session) exchange(ctx context.Context, m *memberState, round int, reqType byte, req []byte,
 	classify func(typ byte, payload []byte) (any, verdict, error)) (any, error) {
+	// A traced session announces its id before each request. The frame
+	// is one-way: ProcLink and ServeConn absorb it without producing a
+	// reply, so the request/reply pairing below is undisturbed.
+	if id := s.trace.ID(); id != 0 {
+		tb := core.MarshalTraceID(id)
+		s.meterFrame(len(tb))
+		if err := m.link.Send(ctx, core.FrameTrace, tb); err != nil {
+			return nil, err
+		}
+	}
 	s.meterFrame(len(req))
 	if err := m.link.Send(ctx, reqType, req); err != nil {
 		return nil, err

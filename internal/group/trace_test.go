@@ -1,0 +1,146 @@
+package group_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"ppgnn/internal/core"
+	"ppgnn/internal/dataset"
+	"ppgnn/internal/geo"
+	"ppgnn/internal/group"
+	"ppgnn/internal/obs"
+)
+
+// TestSessionTraceTree runs one quorum session over in-process member
+// links and proves the coordinator's flight recorder retains the full
+// phase tree — session covering collect (with its partition sub-span),
+// query, and decrypt — with LSP attributes bucketed on the query span
+// and the root's wall time accounting for its children.
+func TestSessionTraceTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	locs := []geo.Point{{X: 0.2, Y: 0.3}, {X: 0.6, Y: 0.4}, {X: 0.5, Y: 0.8}}
+	p := core.DefaultParams(3)
+	p.KeyBits = 192
+	p.D = 6
+	p.Delta = 12
+	p.K = 4
+	p.Variant = core.VariantPPGNN
+	coord, err := core.NewCoordinator(p, locs[0], rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := make([]group.Link, 2)
+	for i := 0; i < 2; i++ {
+		m := group.NewMember(locs[i+1], nil, rand.New(rand.NewSource(int64(i+10))))
+		links[i] = group.NewProcLink(m)
+	}
+	reg := obs.NewRegistry()
+	s, err := group.NewSession(coord, links, group.Config{
+		MemberTimeout: 5 * time.Second,
+		Seed:          11,
+		Obs:           reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsp := core.NewLSP(dataset.Synthetic(5, 400), geo.UnitRect)
+	if _, err := s.Run(context.Background(), core.LocalService{LSP: lsp}); err != nil {
+		t.Fatal(err)
+	}
+
+	snaps := reg.Recorder().Snapshot()
+	if len(snaps) != 1 {
+		t.Fatalf("recorder retained %d traces, want 1", len(snaps))
+	}
+	root := snaps[0].Root
+	if root.Phase != "session" || root.Outcome != "ok" {
+		t.Fatalf("root = %s/%s", root.Phase, root.Outcome)
+	}
+	byPhase := map[string]*obs.SpanSnap{}
+	for _, c := range root.Children {
+		byPhase[c.Phase] = c
+	}
+	for _, phase := range []string{"collect", "query", "decrypt"} {
+		if byPhase[phase] == nil {
+			t.Fatalf("missing %s span; children = %v", phase, byPhase)
+		}
+		if byPhase[phase].Outcome != "ok" {
+			t.Fatalf("%s span outcome = %s", phase, byPhase[phase].Outcome)
+		}
+	}
+	// The collect phase holds its partition sub-span.
+	var sawPartition bool
+	for _, c := range byPhase["collect"].Children {
+		if c.Phase == "partition" {
+			sawPartition = true
+		}
+	}
+	if !sawPartition {
+		t.Fatalf("collect has no partition sub-span: %+v", byPhase["collect"].Children)
+	}
+	// The traced LSP annotated the query span with closed buckets.
+	q := byPhase["query"]
+	if !obs.AllowedTraceAttr("workers", q.Attrs["workers"]) ||
+		!obs.AllowedTraceAttr("candidates", q.Attrs["candidates"]) {
+		t.Fatalf("query attrs = %v, want bucketed workers and candidates", q.Attrs)
+	}
+	// Wall-time accounting: children are sequential phases of the root.
+	var children float64
+	for _, c := range root.Children {
+		children += c.Seconds
+		if c.Seconds > root.Seconds {
+			t.Fatalf("%s span %.4fs outlasts the session root %.4fs", c.Phase, c.Seconds, root.Seconds)
+		}
+	}
+	if children > root.Seconds+0.05 {
+		t.Fatalf("children sum %.4fs exceeds root %.4fs", children, root.Seconds)
+	}
+}
+
+// TestSessionFailureTraceRetained pins the slow/failed reservoir on the
+// group path: a session that cannot reach quorum leaves a failed trace
+// that survives in the always-retained reservoir.
+func TestSessionFailureTraceRetained(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	locs := []geo.Point{{X: 0.2, Y: 0.3}, {X: 0.6, Y: 0.4}, {X: 0.5, Y: 0.8}}
+	p := core.DefaultParams(3)
+	p.KeyBits = 192
+	p.D = 6
+	p.Delta = 12
+	p.Variant = core.VariantPPGNN
+	coord, err := core.NewCoordinator(p, locs[0], rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both member links are closed before the session starts: every
+	// exchange fails, the roster shrinks below quorum.
+	links := make([]group.Link, 2)
+	for i := 0; i < 2; i++ {
+		m := group.NewMember(locs[i+1], nil, rand.New(rand.NewSource(int64(i+20))))
+		l := group.NewProcLink(m)
+		l.Close()
+		links[i] = l
+	}
+	reg := obs.NewRegistry()
+	s, err := group.NewSession(coord, links, group.Config{
+		MemberTimeout: 200 * time.Millisecond,
+		Seed:          12,
+		Obs:           reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsp := core.NewLSP(dataset.Synthetic(5, 200), geo.UnitRect)
+	if _, err := s.Run(context.Background(), core.LocalService{LSP: lsp}); err == nil {
+		t.Fatal("session with dead links succeeded")
+	}
+	slow := reg.Recorder().SlowSnapshot()
+	if len(slow) != 1 {
+		t.Fatalf("slow reservoir holds %d traces, want the failed session", len(slow))
+	}
+	if out := slow[0].Root.Outcome; out == "ok" || !obs.AllowedValues("outcome", out) {
+		t.Fatalf("failed session outcome = %q", out)
+	}
+}

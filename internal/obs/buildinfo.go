@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// processStart anchors the uptime report. Set once at init, it is the
+// only absolute timestamp-derived value the metrics endpoint exposes,
+// and it describes the process, not any query.
+var processStart = time.Now()
+
+// BuildInfoSnap is the build/runtime identity block served on /metrics:
+// what binary is running, on how many cores, for how long. No value in
+// it derives from query data.
+type BuildInfoSnap struct {
+	GoVersion     string  `json:"go_version"`
+	Revision      string  `json:"vcs_revision,omitempty"`
+	Modified      bool    `json:"vcs_modified,omitempty"`
+	GoMaxProcs    int     `json:"gomaxprocs"`
+	NumCPU        int     `json:"num_cpu"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// BuildInfo reports the running binary's identity via
+// debug.ReadBuildInfo. Revision fields stay empty when the binary was
+// built outside a VCS checkout (e.g. from a tarball).
+func BuildInfo() *BuildInfoSnap {
+	b := &BuildInfoSnap{
+		GoVersion:     runtime.Version(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		UptimeSeconds: time.Since(processStart).Seconds(),
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				b.Revision = s.Value
+			case "vcs.modified":
+				b.Modified = s.Value == "true"
+			}
+		}
+	}
+	return b
+}

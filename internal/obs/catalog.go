@@ -104,6 +104,15 @@ func catalog() []catalogEntry {
 		{kindCounter, phaseTotalName, nil, cross(phases, outcomes)},
 		{kindCounter, phaseRetriesName, nil, phases},
 
+		// per-query trace flight recorder (DESIGN.md §9): trace volume
+		// and retention only — trace content lives in the recorder, not
+		// the registry.
+		{kindCounter, traceStartedName, nil, nil},
+		{kindCounter, traceRemoteName, nil, nil},
+		{kindCounter, traceCompletedName, nil, nil},
+		{kindCounter, traceSlowName, nil, nil},
+		{kindCounter, traceDumpsName, nil, nil},
+
 		// parallel worker pool (DESIGN.md §10).
 		{kindGauge, "parallel_pool_depth", nil, nil},
 		{kindHistogram, "parallel_task_seconds", TimeBuckets, nil},

@@ -6,6 +6,8 @@ import (
 	"io"
 	"net"
 	"os"
+	"strconv"
+	"time"
 )
 
 // This file is the privacy contract's single source of truth: the closed
@@ -98,6 +100,107 @@ func enum(vs ...string) map[string]bool {
 		m[v] = true
 	}
 	return m
+}
+
+// traceAttrEnums is the closed catalog of trace-span attributes — the
+// trace-tree analogue of labelEnums. Reused keys (tenant, admission,
+// cause) share the metric enums; numeric facts enter only as bucket
+// labels ("le_128", "gt_2s"), never as raw numbers, so a candidate
+// count or retry-after hint is coarsened the same way its histogram
+// is. SetAttr clamps values against this table and panics on
+// unregistered keys; TestTracePrivacyContract proves the clamping on
+// live trace JSON.
+var traceAttrEnums = map[string]map[string]bool{
+	"tenant":      labelEnums["tenant"],
+	"admission":   labelEnums["admission"],
+	"cause":       labelEnums["cause"],
+	"workers":     enum(countBucketLabels()...),
+	"candidates":  enum(countBucketLabels()...),
+	"retry_after": enum(durationBucketLabels()...),
+}
+
+// retryAfterEdges are the bucket edges for the retry_after attribute.
+// svc clamps its hint to [10ms, 2s], so the edges bracket that range.
+var retryAfterEdges = []time.Duration{
+	10 * time.Millisecond, 25 * time.Millisecond, 50 * time.Millisecond,
+	100 * time.Millisecond, 250 * time.Millisecond, 500 * time.Millisecond,
+	time.Second, 2 * time.Second,
+}
+
+func countBucketLabels() []string {
+	out := make([]string, 0, len(CountBuckets)+1)
+	for _, b := range CountBuckets {
+		out = append(out, "le_"+strconv.FormatInt(int64(b), 10))
+	}
+	return append(out, "gt_"+strconv.FormatInt(int64(CountBuckets[len(CountBuckets)-1]), 10))
+}
+
+func durationBucketLabels() []string {
+	out := make([]string, 0, len(retryAfterEdges)+1)
+	for _, e := range retryAfterEdges {
+		out = append(out, "le_"+durationEdgeLabel(e))
+	}
+	return append(out, "gt_"+durationEdgeLabel(retryAfterEdges[len(retryAfterEdges)-1]))
+}
+
+func durationEdgeLabel(d time.Duration) string {
+	if d < time.Second {
+		return strconv.FormatInt(d.Milliseconds(), 10) + "ms"
+	}
+	return strconv.FormatInt(int64(d/time.Second), 10) + "s"
+}
+
+// CountBucketLabel coarsens an item count (worker width, candidate-set
+// size) into its closed bucket label, the only form in which counts may
+// enter a trace.
+func CountBucketLabel(n int) string {
+	for _, b := range CountBuckets {
+		if float64(n) <= b {
+			return "le_" + strconv.FormatInt(int64(b), 10)
+		}
+	}
+	return "gt_" + strconv.FormatInt(int64(CountBuckets[len(CountBuckets)-1]), 10)
+}
+
+// DurationBucketLabel coarsens a duration (the svc retry-after hint)
+// into its closed bucket label.
+func DurationBucketLabel(d time.Duration) string {
+	for _, e := range retryAfterEdges {
+		if d <= e {
+			return "le_" + durationEdgeLabel(e)
+		}
+	}
+	return "gt_" + durationEdgeLabel(retryAfterEdges[len(retryAfterEdges)-1])
+}
+
+// ClampTraceAttr forces a trace attribute value into its key's closed
+// enum; unregistered keys panic, exactly like ClampLabel.
+func ClampTraceAttr(key, value string) string {
+	vals, ok := traceAttrEnums[key]
+	if !ok {
+		panic("obs: trace attribute key " + key + " is not in the privacy contract")
+	}
+	if vals[value] {
+		return value
+	}
+	return OtherValue
+}
+
+// TraceAttrKeys returns the allowed trace attribute keys (for the
+// contract test and the smoke script's closed-catalog assertion).
+func TraceAttrKeys() []string {
+	out := make([]string, 0, len(traceAttrEnums))
+	for k := range traceAttrEnums {
+		out = append(out, k)
+	}
+	return out
+}
+
+// AllowedTraceAttr reports whether value is in key's trace attribute
+// enum (OtherValue is implicitly in every enum).
+func AllowedTraceAttr(key, value string) bool {
+	vals, ok := traceAttrEnums[key]
+	return ok && (vals[value] || value == OtherValue)
 }
 
 // ClampLabel forces a label value into its key's closed enum: in-enum

@@ -8,8 +8,17 @@ import (
 	"time"
 )
 
-// Handler serves the registry as a JSON snapshot (Snapshot's schema).
-// GET only; the endpoint is read-only introspection.
+// metricsPayload is the /metrics document: the snapshot plus the
+// build/runtime identity block, so a raw curl already answers "what
+// binary is this and how long has it been up".
+type metricsPayload struct {
+	Build *BuildInfoSnap `json:"build"`
+	*Snapshot
+}
+
+// Handler serves the registry as a JSON snapshot (Snapshot's schema
+// plus a "build" info block). GET only; the endpoint is read-only
+// introspection.
 func Handler(r *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodGet && req.Method != http.MethodHead {
@@ -19,17 +28,46 @@ func Handler(r *Registry) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(r.Snapshot())
+		enc.Encode(&metricsPayload{Build: BuildInfo(), Snapshot: r.Snapshot()})
 	})
 }
 
-// NewMux builds the introspection mux: /metrics (JSON snapshot) and the
-// standard net/http/pprof handlers under /debug/pprof/. Only aggregate
-// telemetry and runtime profiles are exposed — the privacy contract keeps
-// query data out of the former, and the latter never held any.
+// TracesHandler serves the flight recorder's retained traces as JSON:
+// {"traces": [...]} newest first. With slow=true it serves the
+// slow/failed reservoir instead of the recent ring. Trace JSON is
+// privacy-safe by construction — every span field is a closed enum, a
+// bucket label, or a duration.
+func TracesHandler(rec *Recorder, slow bool) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "traces endpoint is read-only", http.StatusMethodNotAllowed)
+			return
+		}
+		traces := rec.Snapshot()
+		if slow {
+			traces = rec.SlowSnapshot()
+		}
+		if traces == nil {
+			traces = []*TraceSnap{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string][]*TraceSnap{"traces": traces})
+	})
+}
+
+// NewMux builds the introspection mux: /metrics (JSON snapshot),
+// /traces and /traces/slow (the flight recorder), and the standard
+// net/http/pprof handlers under /debug/pprof/. Only aggregate telemetry,
+// closed-enum traces, and runtime profiles are exposed — the privacy
+// contract keeps query data out of the former two, and the latter never
+// held any.
 func NewMux(r *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Handler(r))
+	mux.Handle("/traces", TracesHandler(r.Recorder(), false))
+	mux.Handle("/traces/slow", TracesHandler(r.Recorder(), true))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

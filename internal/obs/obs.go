@@ -235,6 +235,7 @@ type metric struct {
 type Registry struct {
 	mu      sync.RWMutex
 	metrics map[string]*metric
+	rec     *Recorder // lazily created flight recorder (Recorder())
 }
 
 // NewRegistry returns an empty registry.

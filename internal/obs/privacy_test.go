@@ -96,6 +96,104 @@ func TestPrivacyContract(t *testing.T) {
 	}
 }
 
+// TestTracePrivacyContract extends the redaction contract to the flight
+// recorder: hostile strings pushed through every trace surface — span
+// phases, outcomes, every registered attribute key, the dump reason —
+// must clamp to the closed enums, and the serialized trace JSON (the
+// exact bytes /traces serves) must not contain a single one of them.
+func TestTracePrivacyContract(t *testing.T) {
+	r := NewRegistry()
+	rec := r.Recorder()
+
+	hostile := []string{
+		"48.858844,2.294351",              // a location
+		"0x8f3aa91bc4deadbeef",            // a ciphertext fragment
+		"acme-corp-prod",                  // a tenant name
+		"session=11400714819323198485",    // a session id
+		"dial tcp 10.1.2.3:9042: refused", // an error with an address
+		"workers=37",                      // a raw number dodging buckets
+	}
+
+	tr := rec.Start("session")
+	for _, v := range hostile {
+		sp := tr.Root().Child(v) // hostile phase
+		for _, key := range TraceAttrKeys() {
+			sp.SetAttr(key, v) // hostile value under every legal key
+		}
+		sp.End(v) // hostile outcome
+	}
+	tr.End("ok")
+
+	snaps := rec.Snapshot()
+	if len(snaps) != 1 {
+		t.Fatalf("retained %d traces, want 1", len(snaps))
+	}
+	var walk func(s *SpanSnap)
+	walk = func(s *SpanSnap) {
+		if !AllowedValues("phase", s.Phase) {
+			t.Errorf("span phase %q escaped the closed enum", s.Phase)
+		}
+		if !AllowedValues("outcome", s.Outcome) {
+			t.Errorf("span outcome %q escaped the closed enum", s.Outcome)
+		}
+		for k, v := range s.Attrs {
+			if !AllowedTraceAttr(k, v) {
+				t.Errorf("span attr %s=%q escaped the closed catalog", k, v)
+			}
+		}
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	walk(snaps[0].Root)
+
+	raw, err := json.Marshal(rec.Dump("tenant=acme corp")) // hostile reason too
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range hostile {
+		if strings.Contains(string(raw), v) {
+			t.Fatalf("hostile value %q leaked into trace JSON", v)
+		}
+	}
+	if strings.Contains(string(raw), "acme") {
+		t.Fatal("hostile dump reason leaked into trace JSON")
+	}
+}
+
+// TestUnregisteredTraceAttrKeyPanics pins the same "keys are code
+// literals" rule for trace attributes.
+func TestUnregisteredTraceAttrKeyPanics(t *testing.T) {
+	r := NewRegistry()
+	tr := r.Recorder().Start("session")
+	defer tr.End("ok")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unregistered trace attr key must panic")
+		}
+	}()
+	tr.Root().SetAttr("user_location", "0.5,0.5")
+}
+
+// TestTraceAttrEnumsAreClosed holds the trace attribute catalog to the
+// same no-dynamic-data bar as the label enums. Bucket labels (le_128,
+// gt_2s) legitimately carry digits, so they are checked against the
+// strict bucket grammar instead of the digit heuristic.
+func TestTraceAttrEnumsAreClosed(t *testing.T) {
+	bucket := regexp.MustCompile(`^(le|gt)_[0-9]+(ms|s)?$`)
+	suspicious := regexp.MustCompile(`[0-9]{3,}|[,:;=/]| `)
+	for _, k := range TraceAttrKeys() {
+		for v := range traceAttrEnums[k] {
+			if bucket.MatchString(v) {
+				continue
+			}
+			if suspicious.MatchString(v) {
+				t.Errorf("trace attr enum %s contains suspicious value %q", k, v)
+			}
+		}
+	}
+}
+
 // TestUnregisteredLabelKeyPanics pins the "keys are code literals" rule.
 func TestUnregisteredLabelKeyPanics(t *testing.T) {
 	r := NewRegistry()

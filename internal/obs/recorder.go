@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"time"
+)
+
+// Flight recorder defaults. The ring holds the most recent completed
+// traces regardless of how they went; the slow reservoir additionally
+// retains traces that were slow or failed, so a burst of healthy
+// traffic cannot flush the interesting ones out of memory.
+const (
+	// DefaultTraceRing is the capacity of the recent-trace ring buffer.
+	DefaultTraceRing = 64
+	// DefaultSlowReservoir is the capacity of the slow/failed reservoir.
+	DefaultSlowReservoir = 32
+	// DefaultSlowThreshold marks a trace slow when its root span takes
+	// at least this long.
+	DefaultSlowThreshold = time.Second
+)
+
+// Recorder metric names (registered in catalog.go).
+const (
+	traceStartedName   = "ppgnn_trace_started_total"
+	traceRemoteName    = "ppgnn_trace_remote_total"
+	traceCompletedName = "ppgnn_trace_completed_total"
+	traceSlowName      = "ppgnn_trace_slow_retained_total"
+	traceDumpsName     = "ppgnn_trace_dumps_total"
+)
+
+// Recorder is the per-registry flight recorder: it originates sampled
+// traces, adopts wire-propagated ones, and retains completed trace
+// trees in two bounded stores — a ring of the last N traces and a
+// reservoir of slow/failed ones. All methods are nil-safe so untraced
+// configurations pay nothing.
+type Recorder struct {
+	reg *Registry
+
+	mu       sync.Mutex
+	ring     []*TraceSnap // most recent completed traces, oldest first
+	ringCap  int
+	slow     []*TraceSnap // slow/failed traces, oldest first
+	slowCap  int
+	slowThr  time.Duration
+	sampleHi uint64 // ids at or below this are sampled
+}
+
+func newRecorder(reg *Registry) *Recorder {
+	return &Recorder{
+		reg:      reg,
+		ringCap:  DefaultTraceRing,
+		slowCap:  DefaultSlowReservoir,
+		slowThr:  DefaultSlowThreshold,
+		sampleHi: math.MaxUint64,
+	}
+}
+
+// Recorder returns the registry's flight recorder, creating it on
+// first use. Nil-safe: a nil registry has a nil recorder, and a nil
+// recorder never traces.
+func (r *Registry) Recorder() *Recorder {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.rec == nil {
+		r.rec = newRecorder(r)
+	}
+	return r.rec
+}
+
+// SetSampleRate sets the head-sampling rate in [0, 1]: the fraction of
+// locally originated traces that are recorded. The sampling coin is the
+// crypto-random trace id itself, so the decision is uniform and free.
+// Wire-propagated traces (StartRemote) are never re-sampled — the
+// origin already decided.
+func (rec *Recorder) SetSampleRate(rate float64) {
+	if rec == nil {
+		return
+	}
+	var hi uint64
+	switch {
+	case rate >= 1:
+		hi = math.MaxUint64
+	case rate <= 0:
+		hi = 0
+	default:
+		hi = uint64(rate * math.MaxUint64)
+	}
+	rec.mu.Lock()
+	rec.sampleHi = hi
+	rec.mu.Unlock()
+}
+
+// SetSlowThreshold sets the root duration at or beyond which a trace is
+// retained in the slow reservoir (non-positive restores the default).
+func (rec *Recorder) SetSlowThreshold(d time.Duration) {
+	if rec == nil {
+		return
+	}
+	if d <= 0 {
+		d = DefaultSlowThreshold
+	}
+	rec.mu.Lock()
+	rec.slowThr = d
+	rec.mu.Unlock()
+}
+
+// Start originates a new trace rooted at phase, or returns nil when
+// head-sampling skips this query. The nil result is a fully functional
+// untraced no-op.
+func (rec *Recorder) Start(phase string) *Trace {
+	if rec == nil {
+		return nil
+	}
+	rec.mu.Lock()
+	hi := rec.sampleHi
+	rec.mu.Unlock()
+	if hi == 0 {
+		return nil
+	}
+	id := newTraceID()
+	if uint64(id) > hi {
+		return nil
+	}
+	rec.reg.Counter(traceStartedName).Inc()
+	return rec.adopt(id, phase, false)
+}
+
+// StartRemote adopts a wire-propagated trace id: the upstream already
+// made the sampling decision, so the server always records. A zero id
+// returns nil (untraced).
+func (rec *Recorder) StartRemote(id TraceID, phase string) *Trace {
+	if rec == nil || id == 0 {
+		return nil
+	}
+	rec.reg.Counter(traceRemoteName).Inc()
+	return rec.adopt(id, phase, true)
+}
+
+func (rec *Recorder) adopt(id TraceID, phase string, remote bool) *Trace {
+	now := time.Now()
+	root := &TraceSpan{
+		phase:      ClampLabel("phase", phase),
+		traceStart: now,
+		start:      now,
+	}
+	t := &Trace{id: id, root: root}
+	root.onEnd = func(s *TraceSpan) { rec.complete(t, remote) }
+	return t
+}
+
+// complete freezes the trace tree and files it in the ring (always) and
+// the slow reservoir (when slow or failed). Both stores are bounded:
+// the oldest entry is evicted to make room.
+func (rec *Recorder) complete(t *Trace, remote bool) {
+	snap := &TraceSnap{TraceID: t.id.String(), Remote: remote, Root: t.root.snap()}
+	rec.reg.Counter(traceCompletedName).Inc()
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	rec.ring = append(rec.ring, snap)
+	if over := len(rec.ring) - rec.ringCap; over > 0 {
+		rec.ring = append(rec.ring[:0], rec.ring[over:]...)
+	}
+	if snap.Root.Outcome != "ok" || snap.Root.Seconds >= rec.slowThr.Seconds() {
+		rec.reg.Counter(traceSlowName).Inc()
+		rec.slow = append(rec.slow, snap)
+		if over := len(rec.slow) - rec.slowCap; over > 0 {
+			rec.slow = append(rec.slow[:0], rec.slow[over:]...)
+		}
+	}
+}
+
+// Snapshot returns the retained recent traces, newest first.
+func (rec *Recorder) Snapshot() []*TraceSnap {
+	return rec.copyStore(func() []*TraceSnap { return rec.ring })
+}
+
+// SlowSnapshot returns the retained slow/failed traces, newest first.
+func (rec *Recorder) SlowSnapshot() []*TraceSnap {
+	return rec.copyStore(func() []*TraceSnap { return rec.slow })
+}
+
+func (rec *Recorder) copyStore(get func() []*TraceSnap) []*TraceSnap {
+	if rec == nil {
+		return nil
+	}
+	rec.mu.Lock()
+	src := get()
+	out := make([]*TraceSnap, len(src))
+	for i, s := range src {
+		out[len(src)-1-i] = s // newest first
+	}
+	rec.mu.Unlock()
+	return out
+}
+
+// TraceDump is the JSON document a dump produces: the trigger reason
+// (a code literal, clamped to the metric naming contract so a dynamic
+// string cannot ride along) and both retained stores.
+type TraceDump struct {
+	Reason string       `json:"reason"`
+	Recent []*TraceSnap `json:"recent"`
+	Slow   []*TraceSnap `json:"slow"`
+}
+
+// Dump captures the recorder's full retained state. It is called on
+// watchdog trips, rejected reloads, and failed gate SLO checks, so the
+// traces surrounding a failure survive the process that caused it.
+// Returns nil for a nil recorder.
+func (rec *Recorder) Dump(reason string) *TraceDump {
+	if rec == nil {
+		return nil
+	}
+	if !ValidName(reason) {
+		reason = OtherValue
+	}
+	rec.reg.Counter(traceDumpsName).Inc()
+	return &TraceDump{Reason: reason, Recent: rec.Snapshot(), Slow: rec.SlowSnapshot()}
+}
+
+// JSON renders the dump for a sink (stderr, a report file). Nil-safe.
+func (d *TraceDump) JSON() []byte {
+	if d == nil {
+		return nil
+	}
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil { // unreachable: the types are marshal-safe
+		return []byte(`{"reason":"` + d.Reason + `","error":"marshal failed"}`)
+	}
+	return b
+}

@@ -25,6 +25,7 @@ type Span struct {
 	start   time.Time
 	retries atomic.Int64
 	ended   atomic.Bool
+	node    *TraceSpan // optional trace node mirroring this span
 }
 
 // StartSpan begins timing one phase. The phase string is clamped to the
@@ -34,12 +35,25 @@ func (r *Registry) StartSpan(phase string) *Span {
 	return &Span{reg: r, phase: ClampLabel("phase", phase), start: time.Now()}
 }
 
+// Attach mirrors the span onto a trace node: End and AddRetry forward
+// to it, so one instrumentation site feeds both the aggregate phase
+// metrics and the per-query trace tree. Attaching nil is a no-op, which
+// keeps untraced call sites unconditional.
+func (s *Span) Attach(node *TraceSpan) *Span {
+	if s == nil || node == nil {
+		return s
+	}
+	s.node = node
+	return s
+}
+
 // AddRetry notes one retried exchange inside the phase.
 func (s *Span) AddRetry() {
 	if s == nil {
 		return
 	}
 	s.retries.Add(1)
+	s.node.AddRetry()
 }
 
 // End stops the span and records it under the given outcome (clamped to
@@ -55,6 +69,7 @@ func (s *Span) End(outcome string) time.Duration {
 		return d
 	}
 	outcome = ClampLabel("outcome", outcome)
+	s.node.End(outcome)
 	ph := L("phase", s.phase)
 	s.reg.Histogram(phaseSecondsName, TimeBuckets, ph, L("outcome", outcome)).Observe(d.Seconds())
 	s.reg.Counter(phaseTotalName, ph, L("outcome", outcome)).Inc()

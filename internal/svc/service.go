@@ -30,6 +30,10 @@ type Options struct {
 	Obs *obs.Registry
 	// Logf, when set, receives lifecycle diagnostics.
 	Logf func(format string, args ...interface{})
+	// TraceSink receives flight-recorder dumps when the service trips an
+	// incident trigger (watchdog, rejected reload). Nil logs a summary
+	// line via Logf instead; the full dump stays readable at /traces.
+	TraceSink func(*obs.TraceDump)
 
 	// reloadHook, test-only: observes the not-ready window inside Apply.
 	reloadHook func(stage string)
@@ -188,14 +192,30 @@ func tenantSlot(id string, next *int) string {
 func (s *Service) Apply(cfg *Config) error {
 	if err := cfg.Validate(); err != nil {
 		s.reg.Counter("svc_reloads_total", obs.L("result", "rejected")).Inc()
+		s.dumpTraces("reload_rejected")
 		return err
 	}
 	if err := s.apply(cfg); err != nil {
 		s.reg.Counter("svc_reloads_total", obs.L("result", "rejected")).Inc()
+		s.dumpTraces("reload_rejected")
 		return err
 	}
 	s.reg.Counter("svc_reloads_total", obs.L("result", "applied")).Inc()
 	return nil
+}
+
+// dumpTraces snapshots the flight recorder on an incident trigger: a
+// tripped watchdog or a rejected reload. The queries that led up to the
+// incident are exactly what the recorder retains, so the dump is taken
+// before any drain discards them.
+func (s *Service) dumpTraces(reason string) {
+	d := s.reg.Recorder().Dump(reason)
+	if s.opts.TraceSink != nil {
+		s.opts.TraceSink(d)
+		return
+	}
+	s.logf("svc: flight recorder dump (%s): %d recent, %d slow/failed traces retained",
+		d.Reason, len(d.Recent), len(d.Slow))
 }
 
 // apply installs cfg without touching the reload counters (New's initial
@@ -249,6 +269,7 @@ func (s *Service) Reload() error {
 	cfg, err := LoadConfigFile(s.opts.ConfigPath)
 	if err != nil {
 		s.reg.Counter("svc_reloads_total", obs.L("result", "rejected")).Inc()
+		s.dumpTraces("reload_rejected")
 		return err
 	}
 	return s.Apply(cfg)
@@ -272,12 +293,12 @@ func (s *Service) Admit(tenantID string) (*transport.SessionGrant, error) {
 	// arbitrate between tenants.
 	if max := ep.cfg.MaxInFlight; max > 0 && s.inflight.Load() >= int64(max) {
 		s.mAdmit(t.slot, "overload").Inc()
-		return nil, &transport.BusyError{RetryAfter: s.retryAfterHint(), Reason: "overload"}
+		return nil, &transport.BusyError{RetryAfter: s.retryAfterHint(), Reason: "overload", Slot: t.slot}
 	}
 	if t.inflight.Add(1) > int64(t.cfg.MaxSessions) {
 		t.inflight.Add(-1)
 		s.mAdmit(t.slot, "quota").Inc()
-		return nil, &transport.BusyError{RetryAfter: s.retryAfterHint(), Reason: "quota"}
+		return nil, &transport.BusyError{RetryAfter: s.retryAfterHint(), Reason: "quota", Slot: t.slot}
 	}
 	s.inflight.Add(1)
 	ep.refs.Add(1)
@@ -297,7 +318,7 @@ func (s *Service) Admit(tenantID string) (*transport.SessionGrant, error) {
 			}
 		})
 	}
-	return &transport.SessionGrant{LSP: t.lsp, MaxLocations: t.cfg.MaxLocations, Release: release}, nil
+	return &transport.SessionGrant{LSP: t.lsp, MaxLocations: t.cfg.MaxLocations, Release: release, Slot: t.slot}, nil
 }
 
 // updateCost folds one session's duration into the EWMA (α = 1/8).
@@ -422,6 +443,7 @@ func (s *Service) OnSessionPanic() {
 	s.reg.Counter("svc_watchdog_trips_total").Inc()
 	s.logf("svc: crash budget exhausted (%d panics in %v): going unready",
 		s.watchdog.budget, s.watchdog.window)
+	s.dumpTraces("watchdog")
 	s.fatalOnce.Do(func() { close(s.fatal) })
 }
 

@@ -81,6 +81,7 @@ type Pool struct {
 	mSessions                           func(outcome string) *obs.Counter
 	mRetries                            func(cause string) *obs.Counter
 	mInflight                           *obs.Gauge
+	rec                                 *obs.Recorder
 }
 
 // NewPool returns a Pool serving queries to addr with default sizing;
@@ -123,6 +124,7 @@ func (p *Pool) init() {
 		p.mRetries = func(cause string) *obs.Counter {
 			return reg.Counter("transport_retries_total", obs.L("cause", cause))
 		}
+		p.rec = reg.Recorder()
 	})
 }
 
@@ -135,6 +137,23 @@ func (p *Pool) init() {
 // after any number of resends.
 func (p *Pool) Process(q *core.QueryMsg, locs []*core.LocationMsg) (ans *core.AnswerMsg, err error) {
 	p.init()
+	// An untraced caller (the load fleet, direct library use) still gets
+	// flight-recorder coverage on both ends: the pool originates its own
+	// head-sampled trace rooted at "query" and propagates it.
+	tr := p.rec.Start("query")
+	defer func() { tr.End(sessionOutcome(err)) }()
+	return p.processTraced(tr.Context(nil), q, locs)
+}
+
+// ProcessTraced implements core.TracedService: retried attempts and
+// their causes land on tc.Span, and the trace id precedes every attempt
+// on the wire.
+func (p *Pool) ProcessTraced(tc obs.TraceContext, q *core.QueryMsg, locs []*core.LocationMsg) (*core.AnswerMsg, error) {
+	p.init()
+	return p.processTraced(tc, q, locs)
+}
+
+func (p *Pool) processTraced(tc obs.TraceContext, q *core.QueryMsg, locs []*core.LocationMsg) (ans *core.AnswerMsg, err error) {
 	p.mInflight.Add(1)
 	defer func() {
 		p.mInflight.Add(-1)
@@ -156,6 +175,8 @@ func (p *Pool) Process(q *core.QueryMsg, locs []*core.LocationMsg) (ans *core.An
 		if attempt > 0 {
 			last := attemptErrs[len(attemptErrs)-1]
 			p.mRetries(causeLabel(last)).Inc()
+			tc.Span.AddRetry()
+			tc.Span.SetAttr("cause", causeLabel(last))
 			// A shed server may suggest how long to stay away; honor the
 			// hint as the backoff floor (clamped to RetryMax).
 			floor, _ := core.RetryAfterHint(last)
@@ -178,7 +199,7 @@ func (p *Pool) Process(q *core.QueryMsg, locs []*core.LocationMsg) (ans *core.An
 			attemptErrs = append(attemptErrs, fmt.Errorf("attempt %d: %w", attempts, aerr))
 			continue
 		}
-		ans, serr := runSession(ctx, conn, p.Tenant, q, locs, p.Meter)
+		ans, serr := runSession(ctx, conn, p.Tenant, tc, q, locs, p.Meter)
 		if serr == nil {
 			p.release(conn)
 			return ans, nil
@@ -368,4 +389,4 @@ func (p *Pool) Close() error {
 	return nil
 }
 
-var _ core.Service = (*Pool)(nil)
+var _ core.TracedService = (*Pool)(nil)

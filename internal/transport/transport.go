@@ -55,6 +55,10 @@ type SessionGrant struct {
 	LSP          *core.LSP
 	MaxLocations int
 	Release      func()
+	// Slot is the tenant's metric slot ("default", "t0".."t7") — the
+	// only tenant identity allowed into telemetry and traces. Empty
+	// means unknown and degrades to "other" in a trace attribute.
+	Slot string
 }
 
 // BusyError is a typed admission rejection: the session is shed with a
@@ -63,6 +67,9 @@ type SessionGrant struct {
 type BusyError struct {
 	RetryAfter time.Duration
 	Reason     string // closed "admission" enum: "quota" | "overload"
+	// Slot is the shed tenant's metric slot when known (quota sheds);
+	// overload sheds happen before tenant routing and leave it empty.
+	Slot string
 }
 
 func (e *BusyError) Error() string {
@@ -319,13 +326,15 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// serveQuery handles one query session: an optional FrameTenant, then
-// FrameQuery, n FrameLocations, reply. A panic anywhere in the session (a
-// malformed query tripping an unguarded code path in the LSP) is
-// converted into an error that ends this connection only.
+// serveQuery handles one query session: an optional FrameTrace, an
+// optional FrameTenant, then FrameQuery, n FrameLocations, reply. A
+// panic anywhere in the session (a malformed query tripping an
+// unguarded code path in the LSP) is converted into an error that ends
+// this connection only.
 func (s *Server) serveQuery(conn net.Conn) (err error) {
 	inSession := false
 	outcomeOverride := "" // non-empty wins over obs.Outcome(err)
+	var tr *obs.Trace     // non-nil when the client sent a FrameTrace
 	defer func() {
 		if r := recover(); r != nil {
 			conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
@@ -333,15 +342,19 @@ func (s *Server) serveQuery(conn net.Conn) (err error) {
 			err = fmt.Errorf("transport: session panic: %v", r)
 			s.reg().Counter("transport_server_panics_total").Inc()
 			s.countSession("panic")
+			tr.End("panic")
 			if s.OnSessionPanic != nil {
 				s.OnSessionPanic()
 			}
 		} else if inSession {
+			out := obs.Outcome(err)
 			if outcomeOverride != "" {
-				s.countSession(outcomeOverride)
-			} else {
-				s.countSession(obs.Outcome(err))
+				out = outcomeOverride
 			}
+			s.countSession(out)
+			tr.End(out)
+		} else {
+			tr.EndErr(err)
 		}
 		if inSession {
 			s.endSession(conn)
@@ -361,10 +374,30 @@ func (s *Server) serveQuery(conn net.Conn) (err error) {
 		return err
 	}
 	s.observeFrame("rx", len(payload))
+	if typ == core.FrameTrace {
+		id, terr := core.UnmarshalTraceID(payload)
+		if terr != nil {
+			conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+			wire.WriteFrame(conn, core.FrameError, []byte(terr.Error()))
+			return fmt.Errorf("transport: %w", terr)
+		}
+		// The client already made the sampling decision; the server-side
+		// tree roots at "session" and records how this end disposed of it.
+		tr = s.reg().Recorder().StartRemote(id, "session")
+		if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			return err
+		}
+		typ, payload, err = wire.ReadFrame(conn)
+		if err != nil {
+			return fmt.Errorf("reading session after trace frame: %w", err)
+		}
+		s.observeFrame("rx", len(payload))
+	}
 	if !s.beginSession(conn) {
 		conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
 		wire.WriteFrame(conn, core.FrameError, []byte(core.DrainingMessage))
 		s.discardClient(conn)
+		tr.End("drain")
 		return fmt.Errorf("transport: draining, session rejected")
 	}
 	inSession = true
@@ -394,6 +427,14 @@ func (s *Server) serveQuery(conn net.Conn) (err error) {
 		if aerr != nil {
 			var be *BusyError
 			if errors.As(aerr, &be) {
+				// Sheds get traced too: the trace records which gate shed
+				// the session and the retry-after hint the client was
+				// given, all as closed-enum buckets.
+				tr.Root().SetAttr("admission", be.Reason)
+				tr.Root().SetAttr("retry_after", obs.DurationBucketLabel(be.RetryAfter))
+				if be.Slot != "" {
+					tr.Root().SetAttr("tenant", be.Slot)
+				}
 				outcomeOverride = "busy"
 				s.reg().Counter("transport_server_shed_total").Inc()
 				conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
@@ -401,6 +442,7 @@ func (s *Server) serveQuery(conn net.Conn) (err error) {
 				s.discardClient(conn)
 				return fmt.Errorf("transport: %w", aerr)
 			}
+			tr.Root().SetAttr("admission", "unknown")
 			return s.replyError(conn, aerr)
 		}
 		if grant.Release != nil {
@@ -412,8 +454,16 @@ func (s *Server) serveQuery(conn net.Conn) (err error) {
 		if grant.MaxLocations > 0 {
 			maxLocs = grant.MaxLocations
 		}
+		tr.Root().SetAttr("admission", "ok")
+		if grant.Slot != "" {
+			tr.Root().SetAttr("tenant", grant.Slot)
+		}
 	} else if tenant != DefaultTenant {
 		return s.replyError(conn, fmt.Errorf("unknown tenant %q", tenant))
+	} else {
+		// No admitter: the default policy accepted the session.
+		tr.Root().SetAttr("admission", "ok")
+		tr.Root().SetAttr("tenant", DefaultTenant)
 	}
 	q, err := core.UnmarshalQuery(payload)
 	if err != nil {
@@ -470,9 +520,12 @@ func (s *Server) serveQuery(conn net.Conn) (err error) {
 		locs = append(locs, lm)
 	}
 	// The "lsp" span is Algorithm 2 as the provider experiences it:
-	// candidate enumeration, homomorphic selection, sanitation.
-	sp := s.reg().StartSpan("lsp")
-	ans, err := lsp.Process(q, locs, s.Meter)
+	// candidate enumeration, homomorphic selection, sanitation. When the
+	// session is traced the span doubles as the trace's "lsp" node,
+	// annotated with the worker-width and candidate-count buckets.
+	node := tr.Root().Child("lsp")
+	sp := s.reg().StartSpan("lsp").Attach(node)
+	ans, err := lsp.ProcessTraced(obs.TraceContext{ID: tr.ID(), Span: node}, q, locs, s.Meter)
 	sp.EndErr(err)
 	if err != nil {
 		return s.replyError(conn, err)
@@ -520,10 +573,13 @@ func (c *countingReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// runSession performs one query session on conn: an optional tenant
-// frame, the query frame, location frames, optional end-of-locations
-// sentinel, then the reply. The context deadline bounds every frame
-// exchange.
+// runSession performs one query session on conn: an optional trace
+// frame, an optional tenant frame, the query frame, location frames,
+// optional end-of-locations sentinel, then the reply. The context
+// deadline bounds every frame exchange. A traced session (tc.Traced)
+// additionally records a client-observed "lsp" child span covering the
+// reply wait — the server's processing as seen from this side of the
+// wire.
 //
 // Error classification (see internal/core): every failure up to the first
 // reply byte is marked core.Retryable — the server either never saw the
@@ -532,7 +588,14 @@ func (c *countingReader) Read(p []byte) (int, error) {
 // first reply byte is left unmarked (the extremely rare mid-answer cut),
 // and a FrameError reply becomes a *core.RemoteError, retryable only for
 // the transient busy/draining messages.
-func runSession(ctx context.Context, conn net.Conn, tenant string, q *core.QueryMsg, locs []*core.LocationMsg, meter *cost.Meter) (*core.AnswerMsg, error) {
+func runSession(ctx context.Context, conn net.Conn, tenant string, tc obs.TraceContext, q *core.QueryMsg, locs []*core.LocationMsg, meter *cost.Meter) (*core.AnswerMsg, error) {
+	if tc.Traced() {
+		tb := core.MarshalTraceID(tc.ID)
+		if err := wire.WriteFrameCtx(ctx, conn, core.FrameTrace, tb); err != nil {
+			return nil, core.Retryable(err)
+		}
+		meter.AddBytes(cost.UserToLSP, len(tb)+wire.FrameHeaderSize)
+	}
 	if tenant != "" && tenant != DefaultTenant {
 		if err := wire.WriteFrameCtx(ctx, conn, core.FrameTenant, []byte(tenant)); err != nil {
 			return nil, core.Retryable(err)
@@ -570,8 +633,12 @@ func runSession(ctx context.Context, conn net.Conn, tenant string, q *core.Query
 		return nil, core.Retryable(err)
 	}
 	cr := &countingReader{r: conn}
+	// The reply wait, as a trace child: everything between the last
+	// request byte and the first reply frame is the server's turn.
+	lspNode := tc.Span.Child("lsp")
 	typ, payload, err := wire.ReadFrame(cr)
 	if err != nil {
+		lspNode.EndErr(err)
 		if cr.n == 0 {
 			return nil, core.Retryable(err)
 		}
@@ -580,10 +647,14 @@ func runSession(ctx context.Context, conn net.Conn, tenant string, q *core.Query
 	meter.AddBytes(cost.LSPToUser, len(payload)+wire.FrameHeaderSize)
 	switch typ {
 	case core.FrameAnswer:
+		lspNode.End("ok")
 		return core.UnmarshalAnswer(payload)
 	case core.FrameError:
-		return nil, &core.RemoteError{Msg: string(payload)}
+		rerr := &core.RemoteError{Msg: string(payload)}
+		lspNode.End(sessionOutcome(rerr))
+		return nil, rerr
 	default:
+		lspNode.End("error")
 		return nil, fmt.Errorf("wire: unexpected frame type %d", typ)
 	}
 }
@@ -614,7 +685,14 @@ func (c *Client) Close() error { return c.conn.Close() }
 
 // Process implements core.Service over the TCP connection.
 func (c *Client) Process(q *core.QueryMsg, locs []*core.LocationMsg) (*core.AnswerMsg, error) {
-	return runSession(context.Background(), c.conn, c.Tenant, q, locs, c.Meter)
+	return runSession(context.Background(), c.conn, c.Tenant, obs.TraceContext{}, q, locs, c.Meter)
 }
 
-var _ core.Service = (*Client)(nil)
+// ProcessTraced implements core.TracedService: the trace id precedes
+// the session on the wire, and the reply wait is recorded as an "lsp"
+// child of tc.Span.
+func (c *Client) ProcessTraced(tc obs.TraceContext, q *core.QueryMsg, locs []*core.LocationMsg) (*core.AnswerMsg, error) {
+	return runSession(context.Background(), c.conn, c.Tenant, tc, q, locs, c.Meter)
+}
+
+var _ core.TracedService = (*Client)(nil)
