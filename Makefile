@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench-gate bench-kernel bench-snapshot bench-load load-smoke chaos-gate svc-smoke metrics-smoke clean
+.PHONY: all build vet test race fuzz bench-gate bench-kernel bench-snapshot bench-load load-smoke chaos-gate svc-smoke metrics-smoke shard-gate clean
 
 all: vet build test
 
@@ -22,7 +22,7 @@ race:
 # Short burst of every fuzz target (15s each by default; FUZZTIME=1m
 # for longer local runs).
 fuzz:
-	./scripts/fuzz-pass.sh ./internal/core ./internal/wire ./internal/modmath ./internal/svc
+	./scripts/fuzz-pass.sh ./internal/core ./internal/wire ./internal/modmath ./internal/svc ./internal/shard
 
 # The CI benchmark-regression gate, runnable locally: the serial vs
 # parallel pipeline benchmarks, then the LSP query-phase speedup gate
@@ -70,6 +70,17 @@ load-smoke:
 chaos-gate:
 	$(GO) run ./cmd/ppgnn-experiments -chaos-gate -chaos-out BENCH_chaos.ci.json
 
+# The sharded-index gate (ROADMAP item 2): single-tree vs sharded+grid
+# indexes at 10k/100k/1M synthetic POIs — per-candidate answers identical
+# across paths (brute-force oracle-checked at 10k), encrypted answers
+# byte-identical, candidate work sub-linear in database size, parallel
+# sweep speedup floor on multi-core hardware. Refresh the baseline by
+# copying BENCH_shard.ci.json over BENCH_shard.json on representative
+# hardware.
+shard-gate:
+	$(GO) run ./cmd/ppgnn-experiments -shard-gate -gate-reps 3 \
+		-shard-baseline BENCH_shard.json -shard-out BENCH_shard.ci.json
+
 # Boot a two-tenant ppgnn-lsp from a config file, probe /healthz and
 # /readyz, SIGHUP-reload it mid-load, then run the chaos soak (the CI
 # svc-smoke job).
@@ -82,4 +93,4 @@ metrics-smoke:
 	./scripts/metrics-smoke.sh
 
 clean:
-	rm -f BENCH_obs.json BENCH_parallel.ci.json BENCH_kernel.ci.json BENCH_load.ci.json BENCH_chaos.ci.json
+	rm -f BENCH_obs.json BENCH_parallel.ci.json BENCH_kernel.ci.json BENCH_load.ci.json BENCH_chaos.ci.json BENCH_shard.ci.json

@@ -58,6 +58,18 @@
 //	-chaos-rate R    offered arrivals/second per tenant (default 25)
 //	-chaos-measure D scored window (default 4s)
 //	-chaos-reloads N valid reloads pushed mid-traffic (default 3)
+//	-shard-gate  build the single-tree and sharded+grid POI indexes at
+//	             10k/100k/1M synthetic POIs, assert every candidate kGNN
+//	             answer identical across paths (and vs the brute-force
+//	             oracle at 10k) and the encrypted answers byte-identical,
+//	             and write candidate-work and wall-time curves to
+//	             -shard-out; exits nonzero if pruning is not sub-linear,
+//	             the parallel sweep misses its speedup floor (skipped
+//	             loudly on one core), or the report regresses against
+//	             -shard-baseline
+//	-shard-out F      output file for -shard-gate (default BENCH_shard.json)
+//	-shard-baseline F committed baseline report to gate against (optional)
+//	-shard-count N    shard count K for -shard-gate (default 8)
 //
 // Absolute timings differ from the paper's C++/GMP testbed; the shapes
 // (who wins, growth rates, crossovers) are the reproduction target. See
@@ -104,6 +116,10 @@ func main() {
 	chaosRate := flag.Float64("chaos-rate", 25, "offered arrivals/second per tenant for -chaos-gate")
 	chaosMeasure := flag.Duration("chaos-measure", 4*time.Second, "scored window for -chaos-gate")
 	chaosReloads := flag.Int("chaos-reloads", 3, "valid config reloads pushed mid-traffic by -chaos-gate")
+	shardGate := flag.Bool("shard-gate", false, "measure the sharded+grid POI index vs the single tree across database sizes and write the gate report")
+	shardOut := flag.String("shard-out", "BENCH_shard.json", "output file for -shard-gate")
+	shardBaseline := flag.String("shard-baseline", "", "baseline report to gate -shard-gate against (optional)")
+	shardCount := flag.Int("shard-count", 8, "shard count K for -shard-gate")
 	flag.Parse()
 
 	cfg := experiments.Config{
@@ -313,6 +329,65 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("  gate: PASS (oracle clean across every reload epoch)")
+		return
+	}
+
+	if *shardGate {
+		// The shard gate measures index layouts, not the cost model; the
+		// crypto runs only as the byte-identity check, so unless -keybits
+		// was set explicitly it runs at 256 bits to keep CI fast.
+		gateCfg := cfg
+		keybitsSet := false
+		flag.Visit(func(f *flag.Flag) { keybitsSet = keybitsSet || f.Name == "keybits" })
+		if !keybitsSet {
+			gateCfg.KeyBits = 256
+		}
+		start := time.Now()
+		report, err := gateCfg.ShardGate(*shardCount, *gateReps, nil)
+		if err != nil {
+			fatal(err)
+		}
+		b, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*shardOut, append(b, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("shard gate: keybits=%d δ'=%d k=%d shards=%d workers=%d cores=%d reps=%d (%v total)\n",
+			report.KeyBits, report.DeltaPrime, report.K, report.Shards,
+			report.Workers, report.Cores, report.Reps, time.Since(start).Round(time.Millisecond))
+		for _, pt := range report.Sizes {
+			oracle := ""
+			if pt.OracleChecked {
+				oracle = ", oracle-checked"
+			}
+			fmt.Printf("  %8d POIs: scanned single=%d sharded=%d, sweep single %v sharded %v (answers byte-identical%s)\n",
+				pt.POIs, pt.ScannedSingle, pt.ScannedShard,
+				time.Duration(pt.SweepSingleNs).Round(time.Microsecond),
+				time.Duration(pt.SweepShardNs).Round(time.Microsecond), oracle)
+		}
+		fmt.Printf("  sweep speedup %.2fx at the largest size, report in %s\n", report.SweepSpeedup, *shardOut)
+		var baseline *experiments.ShardReport
+		if *shardBaseline != "" {
+			raw, err := os.ReadFile(*shardBaseline)
+			if err != nil {
+				fatal(err)
+			}
+			baseline = new(experiments.ShardReport)
+			if err := json.Unmarshal(raw, baseline); err != nil {
+				fatal(fmt.Errorf("parsing %s: %w", *shardBaseline, err))
+			}
+			fmt.Printf("  baseline: speedup %.2fx, cores=%d\n", baseline.SweepSpeedup, baseline.Cores)
+		}
+		if err := report.Check(baseline); err != nil {
+			fatal(err)
+		}
+		if reason := report.FloorSkipReason(); reason != "" {
+			fmt.Printf("  gate: PASS with a caveat — %s\n", reason)
+		} else {
+			fmt.Println("  gate: PASS")
+		}
 		return
 	}
 

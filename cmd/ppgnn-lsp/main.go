@@ -16,6 +16,11 @@
 //	-workers N   worker-pool width for candidate queries and the
 //	             homomorphic selection (default 0 = GOMAXPROCS)
 //	-seed N      sanitation RNG seed (single-tenant mode)
+//	-shards N    shard the POI index across N parallel R-trees
+//	             (0/1 = single tree; single-tenant mode — multi-tenant
+//	             mode takes per-tenant "shards" in the config)
+//	-prune-grid  enable the hierarchical grid pruning stage in front of
+//	             the index (single-tenant mode; DESIGN.md §14)
 //	-quiet       suppress per-connection logs
 //	-max-conns N      connection limit; excess clients are shed with a
 //	                  retryable busy reply (default 0 = unlimited)
@@ -66,6 +71,8 @@ func main() {
 	datasetPath := flag.String("dataset", "", "point file (default: Sequoia substitute; single-tenant mode)")
 	workers := flag.Int("workers", 0, "worker-pool width for candidate queries and homomorphic selection (0 = all cores)")
 	seed := flag.Int64("seed", 1, "sanitation RNG seed (single-tenant mode)")
+	shards := flag.Int("shards", 0, "shard the POI index across N parallel R-trees (0/1 = single tree; single-tenant mode)")
+	pruneGrid := flag.Bool("prune-grid", false, "enable the hierarchical grid pruning stage (single-tenant mode)")
 	quiet := flag.Bool("quiet", false, "suppress per-connection logs")
 	maxConns := flag.Int("max-conns", 0, "connection limit, 0 = unlimited")
 	maxLocations := flag.Int("max-locations", transport.DefaultMaxLocations, "location frames accepted per session")
@@ -77,8 +84,8 @@ func main() {
 	traceSample := flag.Float64("trace-sample", 1, "head-sampling rate in [0,1] for locally originated traces")
 	traceSlow := flag.Duration("trace-slow", obs.DefaultSlowThreshold, "root duration at which a trace enters the slow/failed reservoir")
 	flag.Parse()
-	if *configPath != "" && (*datasetPath != "" || *seed != 1) {
-		fatal(fmt.Errorf("-config is the multi-tenant mode; -dataset and -seed belong to the single-tenant mode"))
+	if *configPath != "" && (*datasetPath != "" || *seed != 1 || *shards != 0 || *pruneGrid) {
+		fatal(fmt.Errorf("-config is the multi-tenant mode; -dataset, -seed, -shards, and -prune-grid belong to the single-tenant mode (use per-tenant config fields)"))
 	}
 
 	// The flight recorder hangs off the default registry the transport
@@ -134,11 +141,18 @@ func main() {
 		} else {
 			pois = ppgnn.SequoiaDataset()
 		}
-		server := ppgnn.NewServer(pois, ppgnn.UnitSpace)
+		server := ppgnn.NewIndexedServer(pois, ppgnn.UnitSpace, ppgnn.IndexOptions{
+			Shards:    *shards,
+			PruneGrid: *pruneGrid,
+		})
 		server.Workers = poolWidth
 		server.SanitizeSeed = *seed
 		srv = transport.NewServer(server)
-		log.Printf("ppgnn-lsp: single-tenant mode, %d POIs", len(pois))
+		if sc := server.ShardCount(); sc > 1 || *pruneGrid {
+			log.Printf("ppgnn-lsp: single-tenant mode, %d POIs (shards=%d prune-grid=%v)", len(pois), sc, *pruneGrid)
+		} else {
+			log.Printf("ppgnn-lsp: single-tenant mode, %d POIs", len(pois))
+		}
 	}
 	srv.MaxConns = *maxConns
 	srv.MaxLocations = *maxLocations

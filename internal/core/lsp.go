@@ -18,6 +18,7 @@ import (
 	"ppgnn/internal/partition"
 	"ppgnn/internal/rtree"
 	"ppgnn/internal/sanitize"
+	"ppgnn/internal/shard"
 )
 
 // SearchFunc is the black-box group query engine (paper Section 1: "it
@@ -54,7 +55,8 @@ type LSP struct {
 	// selection itself).
 	Rerandomize bool
 
-	tree *rtree.Tree
+	tree   *rtree.Tree
+	shards *shard.Index
 }
 
 // DefaultMaxCandidates caps δ' per query (Privacy II rarely needs more
@@ -63,8 +65,45 @@ const DefaultMaxCandidates = 65536
 
 // NewLSP builds an LSP over the POI database, indexed with an R-tree.
 func NewLSP(items []rtree.Item, space geo.Rect) *LSP {
+	return NewIndexedLSP(items, space, IndexOptions{})
+}
+
+// IndexOptions selects the POI index layout for NewIndexedLSP.
+type IndexOptions struct {
+	// Shards partitions the database across K shard R-trees searched in
+	// parallel on the LSP's worker pool (DESIGN.md §14). 0 or 1 keeps the
+	// single dynamic R-tree of the paper.
+	Shards int
+	// PruneGrid puts the hierarchical grid pruning stage in front of the
+	// index, bounding per-query candidate work sub-linearly in database
+	// size. Implies the static sharded index even with Shards <= 1.
+	PruneGrid bool
+}
+
+// sharded reports whether the options call for the static shard.Index
+// instead of the paper's single dynamic R-tree.
+func (o IndexOptions) sharded() bool { return o.Shards > 1 || o.PruneGrid }
+
+// NewIndexedLSP is NewLSP with an explicit index layout. The sharded
+// layouts answer every query byte-identically to the single-tree path
+// (the shard package's core contract) but are static: the precompute
+// trade-off of grid schemes (PAPERS.md, arXiv 1612.01835) applied to
+// index structure, so Insert/Delete panic and the svc layer instead
+// rebuilds per-tenant indexes on epoch swaps.
+func NewIndexedLSP(items []rtree.Item, space geo.Rect, opts IndexOptions) *LSP {
+	l := &LSP{Space: space, SanitizeSeed: 1}
+	if opts.sharded() {
+		ix := shard.New(items, space, shard.Options{Shards: opts.Shards, PruneGrid: opts.PruneGrid})
+		l.shards = ix
+		l.Search = func(query []geo.Point, k int, agg gnn.Aggregate) []gnn.Result {
+			// The shard fan-out shares the per-query Workers budget so a
+			// Workers=1 LSP keeps the paper's sequential cost accounting.
+			return ix.SearchPool(l.pool(), query, k, agg)
+		}
+		return l
+	}
 	tree := rtree.Bulk(items, rtree.DefaultMaxEntries)
-	l := &LSP{Space: space, tree: tree, SanitizeSeed: 1}
+	l.tree = tree
 	l.Search = func(query []geo.Point, k int, agg gnn.Aggregate) []gnn.Result {
 		return (&gnn.MBM{Tree: tree, Agg: agg}).Search(query, k)
 	}
@@ -72,7 +111,17 @@ func NewLSP(items []rtree.Item, space geo.Rect) *LSP {
 }
 
 // Tree exposes the POI index (used by baselines sharing the database).
+// It is nil for sharded LSPs.
 func (l *LSP) Tree() *rtree.Tree { return l.tree }
+
+// ShardCount reports the shard count of the index: 1 for the single
+// dynamic R-tree, K for a sharded LSP (trace annotation and tests).
+func (l *LSP) ShardCount() int {
+	if l.shards != nil {
+		return l.shards.Shards()
+	}
+	return 1
+}
 
 // pool maps the Workers knob onto a parallel.Pool: 0 keeps the paper's
 // sequential cost accounting, negative widths resolve to GOMAXPROCS.
@@ -85,11 +134,23 @@ func (l *LSP) pool() *parallel.Pool {
 }
 
 // Insert adds a POI to the live database — the dynamic-database capability
-// the paper contrasts against precomputation-based schemes.
-func (l *LSP) Insert(it rtree.Item) { l.tree.Insert(it) }
+// the paper contrasts against precomputation-based schemes. Sharded LSPs
+// are static (rebuild to change the database) and panic here.
+func (l *LSP) Insert(it rtree.Item) {
+	if l.tree == nil {
+		panic("core: Insert on a sharded LSP; sharded indexes are static — rebuild with NewIndexedLSP")
+	}
+	l.tree.Insert(it)
+}
 
-// Delete removes a POI from the live database.
-func (l *LSP) Delete(it rtree.Item) bool { return l.tree.Delete(it) }
+// Delete removes a POI from the live database. Sharded LSPs panic, like
+// Insert.
+func (l *LSP) Delete(it rtree.Item) bool {
+	if l.tree == nil {
+		panic("core: Delete on a sharded LSP; sharded indexes are static — rebuild with NewIndexedLSP")
+	}
+	return l.tree.Delete(it)
+}
 
 // Process runs Algorithm 2: candidate query generation, per-candidate kGNN
 // + answer sanitation, answer encoding, and the homomorphic private

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"ppgnn/internal/geo"
+	"ppgnn/internal/rtree"
+)
+
+// TestShardedLSPByteIdenticalAnswers is the protocol-level equivalence
+// check: the same encrypted query processed by a single-tree LSP and a
+// sharded+grid LSP must produce byte-identical answer messages — same
+// candidate answers, same encoding, same ciphertexts. This is what makes
+// the sharding invisible to the client and keeps the paper's privacy
+// argument untouched (DESIGN.md §14).
+func TestShardedLSPByteIdenticalAnswers(t *testing.T) {
+	items := testItems(2000)
+	single := NewLSP(items, geo.UnitRect)
+	sharded := NewIndexedLSP(items, geo.UnitRect, IndexOptions{Shards: 8, PruneGrid: true})
+	if sharded.ShardCount() != 8 {
+		t.Fatalf("ShardCount() = %d, want 8", sharded.ShardCount())
+	}
+
+	for _, variant := range []Variant{VariantPPGNN, VariantOPT} {
+		rng := rand.New(rand.NewSource(31))
+		p := testParams(4, variant)
+		g, err := NewGroup(p, randomLocations(rng, 4), rng)
+		if err != nil {
+			t.Fatalf("%v: %v", variant, err)
+		}
+		q, locs, err := g.BuildQuery(nil)
+		if err != nil {
+			t.Fatalf("%v: %v", variant, err)
+		}
+		ansSingle, err := single.Process(q, locs, nil)
+		if err != nil {
+			t.Fatalf("%v single: %v", variant, err)
+		}
+		ansSharded, err := sharded.Process(q, locs, nil)
+		if err != nil {
+			t.Fatalf("%v sharded: %v", variant, err)
+		}
+		if !bytes.Equal(ansSingle.Marshal(), ansSharded.Marshal()) {
+			t.Fatalf("%v: sharded answer differs from single-tree answer", variant)
+		}
+	}
+}
+
+// TestShardedMaxCandidatesCap pins that the δ' admission cap runs before
+// any index work on the sharded path too: a hostile coordinator whose
+// partition parameters imply more candidates than MaxCandidates is
+// rejected by the sharded LSP exactly like the single-tree one.
+func TestShardedMaxCandidatesCap(t *testing.T) {
+	lsp := NewIndexedLSP(testItems(200), geo.UnitRect, IndexOptions{Shards: 4, PruneGrid: true})
+	lsp.MaxCandidates = 8
+	rng := rand.New(rand.NewSource(91))
+	p := testParams(3, VariantPPGNN) // δ=12 > cap 8
+	p.NoSanitize = true
+	g, err := NewGroup(p, randomLocations(rng, 3), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(LocalService{LSP: lsp}, nil); err == nil {
+		t.Fatal("sharded LSP accepted a query above its candidate cap")
+	}
+	lsp.MaxCandidates = 0
+	if _, err := g.Run(LocalService{LSP: lsp}, nil); err != nil {
+		t.Fatalf("default cap rejected a normal query on the sharded LSP: %v", err)
+	}
+}
+
+// TestShardedLSPStatic pins the static-index contract: Insert and Delete
+// on a sharded LSP panic (the svc layer rebuilds indexes on epoch swaps
+// instead of mutating them).
+func TestShardedLSPStatic(t *testing.T) {
+	lsp := NewIndexedLSP(testItems(100), geo.UnitRect, IndexOptions{Shards: 2})
+	assertPanics := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s on a sharded LSP did not panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("Insert", func() { lsp.Insert(rtree.Item{ID: 1, P: geo.Point{X: 0.5, Y: 0.5}}) })
+	assertPanics("Delete", func() { lsp.Delete(rtree.Item{ID: 1, P: geo.Point{X: 0.5, Y: 0.5}}) })
+	if lsp.Tree() != nil {
+		t.Fatal("sharded LSP exposes a non-nil Tree")
+	}
+}
+
+// TestPruneGridImpliesSharded pins the IndexOptions contract: PruneGrid
+// alone (Shards unset) still selects the static sharded index.
+func TestPruneGridImpliesSharded(t *testing.T) {
+	lsp := NewIndexedLSP(testItems(100), geo.UnitRect, IndexOptions{PruneGrid: true})
+	if lsp.Tree() != nil {
+		t.Fatal("PruneGrid LSP kept the dynamic tree")
+	}
+	if lsp.ShardCount() != 1 {
+		t.Fatalf("ShardCount() = %d, want 1", lsp.ShardCount())
+	}
+}

@@ -93,6 +93,7 @@ func (l *LSP) annotateTrace(tc obs.TraceContext, q *QueryMsg) {
 	}
 	tc.Span.SetAttr("workers", obs.CountBucketLabel(l.resolvedWorkers()))
 	tc.Span.SetAttr("candidates", obs.CountBucketLabel(q.CandidateCount()))
+	tc.Span.SetAttr("shards", obs.CountBucketLabel(l.ShardCount()))
 }
 
 // ProcessTraced runs Process and annotates the trace span with the

@@ -132,8 +132,14 @@ func (r Rect) EnlargeArea(s Rect) float64 {
 // MinDist returns the minimum Euclidean distance from the point p to any
 // point of r. It is zero when p lies inside r. This is the classic MINDIST
 // lower bound used for R-tree pruning.
+//
+// It must use the same rounding as Point.Dist (math.Hypot, correctly
+// rounded): for a degenerate rect — a single-POI leaf — the bound and the
+// cost reduce to the identical expression, so the computed bound can
+// never exceed the computed cost by an ulp. Bounded searches cut off at
+// an exact k-th cost (the shard layer's grid seed) rely on that.
 func (r Rect) MinDist(p Point) float64 {
-	return math.Sqrt(r.MinDist2(p))
+	return math.Hypot(axisDist(p.X, r.Min.X, r.Max.X), axisDist(p.Y, r.Min.Y, r.Max.Y))
 }
 
 // MinDist2 returns the squared MinDist.

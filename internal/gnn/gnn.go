@@ -169,6 +169,14 @@ func (a Aggregate) nodeLowerBound(rect geo.Rect, query []geo.Point, queryMBR geo
 	return ptBound
 }
 
+// LowerBound returns an admissible lower bound on the aggregate cost of
+// any point inside rect — the same bound MBM prunes R-tree nodes with,
+// exported for index layers that prune other spatial partitions (the
+// shard package's grid cells).
+func (a Aggregate) LowerBound(rect geo.Rect, query []geo.Point) float64 {
+	return a.nodeLowerBound(rect, query, geo.RectOf(query...))
+}
+
 // rectMinDist is the minimum distance between two rectangles.
 func rectMinDist(a, b geo.Rect) float64 {
 	dx := axisGap(a.Min.X, a.Max.X, b.Min.X, b.Max.X)
@@ -211,8 +219,21 @@ var _ Searcher = (*MBM)(nil)
 // (ties broken by item ID). It returns fewer than k results only when the
 // database holds fewer than k POIs.
 func (m *MBM) Search(query []geo.Point, k int) []Result {
+	out, _ := m.SearchBounded(query, k, math.Inf(1))
+	return out
+}
+
+// SearchBounded is Search with an admissible cost cutoff: entries whose
+// lower bound exceeds maxCost are never expanded, and because the queue
+// pops in ascending bound order the search stops outright at the first
+// such entry. Any POI with aggregate cost <= maxCost is still returned,
+// so a caller holding an upper bound on the true k-th cost (the shard
+// layer's grid seed) gets a result byte-identical to the unbounded
+// search. The second return value counts the POIs whose exact cost was
+// evaluated — the per-query candidate work the shard gate curves track.
+func (m *MBM) SearchBounded(query []geo.Point, k int, maxCost float64) ([]Result, int) {
 	if k <= 0 || len(query) == 0 || m.Tree.Len() == 0 {
-		return nil
+		return nil, 0
 	}
 	queryMBR := geo.RectOf(query...)
 	pq := &boundQueue{}
@@ -221,12 +242,17 @@ func (m *MBM) Search(query []geo.Point, k int) []Result {
 		bound: m.Agg.nodeLowerBound(root.Rect(), query, queryMBR),
 		node:  root,
 	})
+	scanned := 0
 	var out []Result
 	for pq.Len() > 0 && len(out) < k {
 		e := heap.Pop(pq).(boundEntry)
+		if e.bound > maxCost {
+			break
+		}
 		switch {
 		case e.node != nil && e.node.IsLeaf():
 			for _, it := range e.node.Items() {
+				scanned++
 				heap.Push(pq, boundEntry{
 					bound:  m.Agg.Cost(it.P, query),
 					item:   it,
@@ -244,7 +270,7 @@ func (m *MBM) Search(query []geo.Point, k int) []Result {
 			out = append(out, Result{Item: e.item, Cost: e.bound})
 		}
 	}
-	return out
+	return out, scanned
 }
 
 type boundEntry struct {

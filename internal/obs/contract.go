@@ -92,6 +92,10 @@ var labelEnums = map[string]map[string]bool{
 	// admitted, shed by the tenant's session quota, shed by the adaptive
 	// overload gate, or rejected because the tenant does not exist.
 	"admission": enum("ok", "quota", "overload", "unknown"),
+	// grid: whether the shard layer's hierarchical pruning grid was
+	// active for a search (DESIGN.md §14). A boolean mode bit, never a
+	// per-query datum.
+	"grid": enum("on", "off"),
 }
 
 func enum(vs ...string) map[string]bool {
@@ -116,6 +120,7 @@ var traceAttrEnums = map[string]map[string]bool{
 	"cause":       labelEnums["cause"],
 	"workers":     enum(countBucketLabels()...),
 	"candidates":  enum(countBucketLabels()...),
+	"shards":      enum(countBucketLabels()...),
 	"retry_after": enum(durationBucketLabels()...),
 }
 

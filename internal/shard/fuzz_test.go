@@ -1,0 +1,61 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+
+	"ppgnn/internal/dataset"
+	"ppgnn/internal/geo"
+	"ppgnn/internal/gnn"
+)
+
+// FuzzShardSearch fuzzes the whole index configuration space — shard
+// count, grid on/off, grid resolution, database size, query size, k,
+// aggregate — against the brute-force oracle. The property under test is
+// the package's core contract: the sharded, grid-pruned search is
+// exactly the top-k by (cost, ID) over the whole database, for every
+// configuration, including the degenerate ones (more shards than POIs,
+// k past the database size, single-point queries).
+func FuzzShardSearch(f *testing.F) {
+	f.Add(int64(1), uint16(100), uint8(4), uint8(8), uint8(3), true, uint8(0))
+	f.Add(int64(2), uint16(1), uint8(16), uint8(4), uint8(1), true, uint8(1))
+	f.Add(int64(3), uint16(500), uint8(1), uint8(1), uint8(6), false, uint8(2))
+	f.Add(int64(4), uint16(64), uint8(64), uint8(200), uint8(2), true, uint8(4))
+
+	f.Fuzz(func(t *testing.T, seed int64, n uint16, shards, k, nq uint8, grid bool, aggRaw uint8) {
+		nItems := int(n) % 601 // 0..600 POIs keeps the oracle fast
+		agg := gnn.Aggregate(aggRaw % 3)
+		items := dataset.Synthetic(seed, nItems)
+		ix := New(items, geo.UnitRect, Options{
+			Shards:    int(shards),
+			PruneGrid: grid,
+			// Vary the resolution too: leafTarget 1 forces deep grids.
+			GridLeafTarget: int(seed&3) + 1,
+		})
+
+		rng := rand.New(rand.NewSource(seed + 7))
+		query := make([]geo.Point, int(nq)%6+1)
+		for i := range query {
+			query[i] = geo.Point{X: rng.Float64() * 1.2, Y: rng.Float64()*1.2 - 0.1}
+		}
+		wantK := int(k)%40 + 1
+
+		got, st := ix.SearchStats(nil, query, wantK, agg)
+		want := (&gnn.BruteForce{Items: items, Agg: agg}).Search(query, wantK)
+
+		if len(got) != len(want) {
+			t.Fatalf("got %d results, want %d (n=%d shards=%d k=%d grid=%v agg=%v)",
+				len(got), len(want), nItems, ix.Shards(), wantK, grid, agg)
+		}
+		for i := range want {
+			if got[i].Item != want[i].Item || got[i].Cost != want[i].Cost {
+				t.Fatalf("rank %d: got {id=%d cost=%v}, want {id=%d cost=%v} (n=%d shards=%d k=%d grid=%v agg=%v)",
+					i, got[i].Item.ID, got[i].Cost, want[i].Item.ID, want[i].Cost,
+					nItems, ix.Shards(), wantK, grid, agg)
+			}
+		}
+		if len(got) > 0 && st.Bound < got[len(got)-1].Cost {
+			t.Fatalf("seed bound %v below true k-th cost %v", st.Bound, got[len(got)-1].Cost)
+		}
+	})
+}

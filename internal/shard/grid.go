@@ -1,0 +1,226 @@
+package shard
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"ppgnn/internal/geo"
+	"ppgnn/internal/gnn"
+	"ppgnn/internal/rtree"
+)
+
+// Grid is the hierarchical pruning stage in front of the shard trees: a
+// uniform leaf grid of precomputed POI buckets (the APNN idiom from
+// internal/baseline/apnn, generalized from cell-center answers to cell
+// buckets) under a quadtree pyramid of occupancy counts. Its one job per
+// query is to produce a cheap, correct upper bound on the k-th best
+// aggregate cost — SeedBound — by collecting the POIs nearest the query
+// centroid with a best-first descent of the pyramid. The bound is then
+// fed to every shard's bounded MBM search as a cutoff, which is what
+// caps per-query candidate work sub-linearly in database size.
+//
+// Correctness never depends on the grid's geometry: the bound is the
+// exact aggregate cost of real POIs (the k-th smallest among >= k
+// collected), so it always dominates the true k-th best, and the
+// bounded search returns every POI at or under it. A degenerate grid —
+// all POIs in one cell, POIs on cell borders, a single-cell grid — can
+// only make the bound looser, never the answer wrong.
+type Grid struct {
+	space geo.Rect
+	bits  int // leaf level: 1<<bits cells per axis
+	// buckets holds the leaf cells' POIs, row-major at the leaf level.
+	buckets [][]rtree.Item
+	// counts[l] is the occupancy pyramid at level l (l cells per axis =
+	// 1<<l): counts[bits] is the leaf occupancy, each coarser level sums
+	// its four children, counts[0] is the total.
+	counts [][]int
+	total  int
+}
+
+// DefaultGridLeafTarget is the POIs-per-leaf-cell the grid resolution
+// aims for. Smaller cells seed tighter bounds but cost more memory.
+const DefaultGridLeafTarget = 8
+
+// maxGridBits caps the leaf grid at 1024x1024 cells (~8 MB of bucket
+// headers): past that, bucket residency is so small that finer cells no
+// longer tighten the seed.
+const maxGridBits = 10
+
+// NewGrid builds the pyramid over the items. A nil or empty item set
+// yields a grid whose SeedBound is +Inf (nothing to seed from).
+func NewGrid(items []rtree.Item, space geo.Rect, leafTarget int) *Grid {
+	if leafTarget <= 0 {
+		leafTarget = DefaultGridLeafTarget
+	}
+	g := &Grid{space: space, total: len(items)}
+	// Smallest power-of-two axis with ~leafTarget POIs per cell.
+	for g.bits < maxGridBits && len(items) > (1<<(2*g.bits))*leafTarget {
+		g.bits++
+	}
+	n := 1 << g.bits
+	g.buckets = make([][]rtree.Item, n*n)
+	for _, it := range items {
+		cx, cy := g.cellOf(it.P)
+		g.buckets[cy*n+cx] = append(g.buckets[cy*n+cx], it)
+	}
+	// Deterministic bucket order (items arrive in caller order; seeding
+	// must not depend on it).
+	for i := range g.buckets {
+		b := g.buckets[i]
+		sort.Slice(b, func(a, c int) bool { return b[a].ID < b[c].ID })
+	}
+	// Occupancy pyramid, leaf up.
+	g.counts = make([][]int, g.bits+1)
+	leaf := make([]int, n*n)
+	for i, b := range g.buckets {
+		leaf[i] = len(b)
+	}
+	g.counts[g.bits] = leaf
+	for l := g.bits - 1; l >= 0; l-- {
+		m := 1 << l
+		cur := make([]int, m*m)
+		below := g.counts[l+1]
+		bn := 1 << (l + 1)
+		for cy := 0; cy < m; cy++ {
+			for cx := 0; cx < m; cx++ {
+				cur[cy*m+cx] = below[(2*cy)*bn+2*cx] + below[(2*cy)*bn+2*cx+1] +
+					below[(2*cy+1)*bn+2*cx] + below[(2*cy+1)*bn+2*cx+1]
+			}
+		}
+		g.counts[l] = cur
+	}
+	return g
+}
+
+// Levels reports the pyramid depth (1 for a single-cell grid).
+func (g *Grid) Levels() int { return g.bits + 1 }
+
+// LeafCells reports the leaf cell count per axis.
+func (g *Grid) LeafCells() int { return 1 << g.bits }
+
+// cellOf maps a point to leaf-cell coordinates, clamped to the grid so
+// border and (defensively) out-of-space points land in edge cells.
+func (g *Grid) cellOf(p geo.Point) (cx, cy int) {
+	n := 1 << g.bits
+	fx := (p.X - g.space.Min.X) / g.space.Width()
+	fy := (p.Y - g.space.Min.Y) / g.space.Height()
+	cx = int(fx * float64(n))
+	cy = int(fy * float64(n))
+	if cx < 0 {
+		cx = 0
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cx >= n {
+		cx = n - 1
+	}
+	if cy >= n {
+		cy = n - 1
+	}
+	return cx, cy
+}
+
+// cellRect is the rectangle of cell (cx, cy) at level l.
+func (g *Grid) cellRect(l, cx, cy int) geo.Rect {
+	m := float64(int(1) << l)
+	w := g.space.Width() / m
+	h := g.space.Height() / m
+	return geo.Rect{
+		Min: geo.Point{X: g.space.Min.X + float64(cx)*w, Y: g.space.Min.Y + float64(cy)*h},
+		Max: geo.Point{X: g.space.Min.X + float64(cx+1)*w, Y: g.space.Min.Y + float64(cy+1)*h},
+	}
+}
+
+// seedCell is one pyramid cell in the best-first collection frontier,
+// keyed by the admissible aggregate-cost lower bound of its rectangle.
+type seedCell struct {
+	bound  float64
+	level  int
+	cx, cy int
+}
+
+type seedQueue []seedCell
+
+func (q seedQueue) Len() int { return len(q) }
+func (q seedQueue) Less(i, j int) bool {
+	if q[i].bound != q[j].bound {
+		return q[i].bound < q[j].bound
+	}
+	if q[i].level != q[j].level {
+		return q[i].level < q[j].level
+	}
+	if q[i].cy != q[j].cy {
+		return q[i].cy < q[j].cy
+	}
+	return q[i].cx < q[j].cx
+}
+func (q seedQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *seedQueue) Push(x interface{}) { *q = append(*q, x.(seedCell)) }
+func (q *seedQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// seedOverscan is how many POIs past k the seed collects. The bound is
+// the k-th smallest exact cost among the collected POIs, so a larger
+// sample can only tighten it (the k-th smallest over a superset is never
+// larger); 56 extra evaluations per query buys a bound close enough to
+// the true k-th cost to keep the shard sweep under the single tree's
+// scan count.
+const seedOverscan = 56
+
+// SeedBound returns an upper bound on the k-th best aggregate cost of
+// query over the whole database, plus the number of POIs it evaluated to
+// get it. It best-first descends the occupancy pyramid in ascending
+// aggregate-cost lower-bound order — a coarse MBM over cells instead of
+// R-tree nodes — so the collected sample concentrates in the region the
+// true top-k live in, collects at least k (+overscan) POIs, and returns
+// the k-th smallest exact cost among them: the k-th best over any subset
+// dominates the k-th best over the whole set. Fewer than k POIs in the
+// database means no bound exists: +Inf (the bounded search then scans
+// exactly what the unbounded one would).
+func (g *Grid) SeedBound(query []geo.Point, k int, agg gnn.Aggregate) (float64, int) {
+	if g.total < k || k <= 0 || len(query) == 0 {
+		return math.Inf(1), 0
+	}
+	need := k + seedOverscan
+	pq := &seedQueue{}
+	heap.Push(pq, seedCell{bound: 0, level: 0, cx: 0, cy: 0})
+	var collected []rtree.Item
+	for pq.Len() > 0 && len(collected) < need {
+		e := heap.Pop(pq).(seedCell)
+		if e.level == g.bits {
+			collected = append(collected, g.buckets[(e.cy<<g.bits)+e.cx]...)
+			continue
+		}
+		below := g.counts[e.level+1]
+		bn := 1 << (e.level + 1)
+		for dy := 0; dy < 2; dy++ {
+			for dx := 0; dx < 2; dx++ {
+				cx, cy := 2*e.cx+dx, 2*e.cy+dy
+				if below[cy*bn+cx] == 0 {
+					continue
+				}
+				heap.Push(pq, seedCell{
+					bound: agg.LowerBound(g.cellRect(e.level+1, cx, cy), query),
+					level: e.level + 1,
+					cx:    cx, cy: cy,
+				})
+			}
+		}
+	}
+	if len(collected) < k {
+		return math.Inf(1), len(collected)
+	}
+	costs := make([]float64, len(collected))
+	for i, it := range collected {
+		costs[i] = agg.Cost(it.P, query)
+	}
+	sort.Float64s(costs)
+	return costs[k-1], len(collected)
+}

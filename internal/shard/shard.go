@@ -1,0 +1,258 @@
+// Package shard is the million-POI index layer (ROADMAP item 2): it
+// partitions the POI database across K independently STR-bulk-loaded
+// R-tree shards, answers each candidate kGNN query by searching the
+// shards in parallel on the internal/parallel pool and merging the
+// per-shard top-k, and — in front of the shards — runs a hierarchical
+// grid pruning stage (Grid) that seeds an upper bound on the k-th best
+// aggregate cost so every shard search can cut off sub-linearly in
+// database size, following the candidate-pruning idea of "Sub-Linear
+// Privacy-Preserving Near-Neighbor Search" (arXiv 1612.01835).
+//
+// The contract that makes this usable under the PPGNN privacy argument
+// is byte-identity: for any query, Search returns exactly the results
+// (values and order) of a single-tree gnn.MBM search over the whole
+// database. Both orders are the total order (aggregate cost, then POI
+// ID); the seed bound is an exact cost of real POIs, so the bounded
+// per-shard searches drop only POIs that provably cannot be in the
+// top-k. The private selection downstream therefore produces identical
+// ciphertext answers, and nothing about the sharding is observable to
+// the client. DESIGN.md §14 carries the full equivalence argument.
+package shard
+
+import (
+	"context"
+	"math"
+	"sort"
+	"time"
+
+	"ppgnn/internal/geo"
+	"ppgnn/internal/gnn"
+	"ppgnn/internal/obs"
+	"ppgnn/internal/parallel"
+	"ppgnn/internal/rtree"
+)
+
+// Options configures an Index.
+type Options struct {
+	// Shards is the shard count K; <= 1 means a single shard (still a
+	// valid Index, used for the K=1 equivalence tests and as the
+	// unsharded comparison arm of the shard gate).
+	Shards int
+	// PruneGrid enables the hierarchical grid pruning stage: per-query
+	// seed bounds that cap every shard search's candidate work.
+	PruneGrid bool
+	// GridLeafTarget tunes the grid resolution (POIs per leaf cell,
+	// default DefaultGridLeafTarget). Only meaningful with PruneGrid.
+	GridLeafTarget int
+}
+
+// MaxShards caps K: shards are goroutine-level, so hundreds of shards
+// only fragment the trees without adding parallelism.
+const MaxShards = 64
+
+// shardLeafEntries is the R-tree node capacity of the shard trees.
+// Bounded search scans whole leaves, so its candidate work is quantized
+// to the leaf size; a fraction of the single tree's DefaultMaxEntries
+// trades a deeper descent for a much finer scan granularity along the
+// cutoff boundary — the right trade when a seed bound prunes the rest.
+const shardLeafEntries = 8
+
+// Index is a sharded, optionally grid-pruned POI index. It is immutable
+// after New (rebuild to change the database — the svc layer rebuilds
+// per-tenant indexes on every epoch swap), and safe for concurrent use.
+type Index struct {
+	space  geo.Rect
+	shards []*rtree.Tree
+	grid   *Grid
+	total  int
+}
+
+// Telemetry (DESIGN.md §9, §14): closed-catalog instruments, pre-bound.
+var (
+	mSearches = map[bool]*obs.Counter{
+		true:  obs.Default().Counter("shard_searches_total", obs.L("grid", "on")),
+		false: obs.Default().Counter("shard_searches_total", obs.L("grid", "off")),
+	}
+	mScanned      = obs.Default().Histogram("shard_scanned", obs.CountBuckets)
+	mSeedScanned  = obs.Default().Histogram("shard_seed_scanned", obs.CountBuckets)
+	mShardsPruned = obs.Default().Counter("shard_shards_pruned_total")
+	mBuildSecs    = obs.Default().Histogram("shard_build_seconds", obs.TimeBuckets)
+	gShardCount   = obs.Default().Gauge("shard_count")
+)
+
+// New partitions items into K spatially coherent shards (sorted by
+// (X, Y, ID) and chunked, so each shard's STR tree covers a tight
+// vertical strip whose root bound prunes whole shards at query time)
+// and bulk-loads each with the existing STR packer. The items slice is
+// not retained. Empty chunks (K > len(items)) yield empty shards, which
+// search as empty trees.
+func New(items []rtree.Item, space geo.Rect, opts Options) *Index {
+	start := time.Now()
+	k := opts.Shards
+	if k < 1 {
+		k = 1
+	}
+	if k > MaxShards {
+		k = MaxShards
+	}
+	own := make([]rtree.Item, len(items))
+	copy(own, items)
+	// Deterministic partition: byte-identity requires the same shard
+	// assignment for the same database regardless of input order.
+	sort.Slice(own, func(i, j int) bool {
+		a, b := own[i], own[j]
+		if a.P.X != b.P.X {
+			return a.P.X < b.P.X
+		}
+		if a.P.Y != b.P.Y {
+			return a.P.Y < b.P.Y
+		}
+		return a.ID < b.ID
+	})
+	ix := &Index{space: space, total: len(items)}
+	per := (len(own) + k - 1) / k
+	if per == 0 {
+		per = 1
+	}
+	for s := 0; s < k; s++ {
+		lo := s * per
+		hi := lo + per
+		if lo > len(own) {
+			lo = len(own)
+		}
+		if hi > len(own) {
+			hi = len(own)
+		}
+		ix.shards = append(ix.shards, rtree.Bulk(own[lo:hi], shardLeafEntries))
+	}
+	if opts.PruneGrid {
+		ix.grid = NewGrid(own, space, opts.GridLeafTarget)
+	}
+	mBuildSecs.Observe(time.Since(start).Seconds())
+	gShardCount.Set(int64(len(ix.shards)))
+	return ix
+}
+
+// Shards reports the shard count K.
+func (ix *Index) Shards() int { return len(ix.shards) }
+
+// Len reports the indexed POI count.
+func (ix *Index) Len() int { return ix.total }
+
+// Pruned reports whether the grid pruning stage is enabled.
+func (ix *Index) Pruned() bool { return ix.grid != nil }
+
+// Stats is the per-search work accounting the shard gate curves: how
+// many POIs had their exact aggregate cost evaluated (the candidate
+// work the grid bounds sub-linearly), split into the seed's share, and
+// how many shards the bound pruned without scanning a single POI.
+type Stats struct {
+	Scanned      int     // total POIs cost-evaluated (seed + shards)
+	SeedScanned  int     // POIs evaluated by the grid seed
+	Bound        float64 // the seed's k-th-cost upper bound (+Inf = none)
+	PrunedShards int     // shards whose search evaluated zero POIs
+}
+
+// Search implements the core.SearchFunc contract byte-identically to a
+// single-tree gnn.MBM search, using the process-default parallel pool
+// across shards.
+func (ix *Index) Search(query []geo.Point, k int, agg gnn.Aggregate) []gnn.Result {
+	res, _ := ix.SearchStats(nil, query, k, agg)
+	return res
+}
+
+// SearchPool is Search on an explicit pool (the LSP threads its Workers
+// knob here so a Workers=1 LSP stays honestly sequential).
+func (ix *Index) SearchPool(pool *parallel.Pool, query []geo.Point, k int, agg gnn.Aggregate) []gnn.Result {
+	res, _ := ix.SearchStats(pool, query, k, agg)
+	return res
+}
+
+// SearchStats is Search returning the work accounting. A nil pool uses
+// the process default.
+func (ix *Index) SearchStats(pool *parallel.Pool, query []geo.Point, k int, agg gnn.Aggregate) ([]gnn.Result, Stats) {
+	var st Stats
+	st.Bound = math.Inf(1)
+	if k <= 0 || len(query) == 0 || ix.total == 0 {
+		return nil, st
+	}
+	mSearches[ix.grid != nil].Inc()
+	if ix.grid != nil {
+		st.Bound, st.SeedScanned = ix.grid.SeedBound(query, k, agg)
+		st.Scanned += st.SeedScanned
+		mSeedScanned.Observe(float64(st.SeedScanned))
+	}
+
+	type shardOut struct {
+		res     []gnn.Result
+		scanned int
+	}
+	outs := make([]shardOut, len(ix.shards))
+	bound := relaxBound(st.Bound)
+	// Errors are impossible here (the task never fails); ForEach is used
+	// for its bounded fan-out and slot-deterministic output.
+	_ = parallel.New(poolWidth(pool, len(ix.shards))).ForEach(context.Background(), len(ix.shards), func(s int) error {
+		m := &gnn.MBM{Tree: ix.shards[s], Agg: agg}
+		res, scanned := m.SearchBounded(query, k, bound)
+		outs[s] = shardOut{res: res, scanned: scanned}
+		return nil
+	})
+
+	merged := make([]gnn.Result, 0, k*2)
+	for _, o := range outs {
+		st.Scanned += o.scanned
+		if o.scanned == 0 {
+			st.PrunedShards++
+		}
+		merged = append(merged, o.res...)
+	}
+	// The global order is the same total order every path uses:
+	// aggregate cost ascending, POI ID breaking ties.
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Cost != merged[j].Cost {
+			return merged[i].Cost < merged[j].Cost
+		}
+		return merged[i].Item.ID < merged[j].Item.ID
+	})
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	mScanned.Observe(float64(st.Scanned))
+	if st.PrunedShards > 0 {
+		mShardsPruned.Add(int64(st.PrunedShards))
+	}
+	return merged, st
+}
+
+// relaxBound widens a finite cutoff by a sliver of relative epsilon. The
+// seed bound is the exact aggregate cost of a real POI, but node lower
+// bounds are computed by different expressions (n·mindist for the MBM
+// bound, per-point sums for the tight one) whose last-ulp rounding can
+// land just above a true value they tie with exactly; a cutoff at the
+// exact cost could then prune a node holding a boundary item. Widening
+// admits at most the items within one part in 10^13 of the cutoff — they
+// lose the exact (cost, ID) merge, so answers stay byte-identical — and
+// makes the cutoff immune to rounding-order differences in the bounds.
+func relaxBound(b float64) float64 {
+	if math.IsInf(b, 1) {
+		return b
+	}
+	return b * (1 + 1e-13)
+}
+
+// poolWidth resolves the fan-out for the per-shard searches: never wider
+// than the shard count, never wider than the caller's pool (so a
+// sequential LSP runs shards sequentially too).
+func poolWidth(pool *parallel.Pool, shards int) int {
+	w := parallel.Default().Workers()
+	if pool != nil {
+		w = pool.Workers()
+	}
+	if w > shards {
+		w = shards
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}

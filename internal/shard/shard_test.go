@@ -1,0 +1,211 @@
+package shard
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ppgnn/internal/dataset"
+	"ppgnn/internal/geo"
+	"ppgnn/internal/gnn"
+	"ppgnn/internal/parallel"
+	"ppgnn/internal/rtree"
+)
+
+func randomQuery(rng *rand.Rand, n int) []geo.Point {
+	out := make([]geo.Point, n)
+	for i := range out {
+		out[i] = geo.Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	return out
+}
+
+// assertSameResults requires exact equality — IDs, costs, points, order.
+// The shard contract is byte-identity with the single-tree path, so any
+// drift here (not just "same set") is a bug.
+func assertSameResults(t *testing.T, got, want []gnn.Result, ctx string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d results, want %d", ctx, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Item != want[i].Item || got[i].Cost != want[i].Cost {
+			t.Fatalf("%s rank %d: got {id=%d p=%v cost=%v}, want {id=%d p=%v cost=%v}",
+				ctx, i,
+				got[i].Item.ID, got[i].Item.P, got[i].Cost,
+				want[i].Item.ID, want[i].Item.P, want[i].Cost)
+		}
+	}
+}
+
+// TestK1MatchesSingleTree pins the degenerate sharding: one shard, no
+// grid, must reproduce the single-tree MBM answer exactly even though the
+// shard tree uses a different leaf capacity.
+func TestK1MatchesSingleTree(t *testing.T) {
+	items := dataset.Synthetic(41, 3000)
+	single := &gnn.MBM{Tree: rtree.Bulk(items, rtree.DefaultMaxEntries)}
+	ix := New(items, geo.UnitRect, Options{Shards: 1})
+	if ix.Shards() != 1 {
+		t.Fatalf("Shards() = %d, want 1", ix.Shards())
+	}
+	rng := rand.New(rand.NewSource(42))
+	for _, agg := range []gnn.Aggregate{gnn.Sum, gnn.Max, gnn.Min} {
+		single.Agg = agg
+		for trial := 0; trial < 20; trial++ {
+			q := randomQuery(rng, 1+rng.Intn(6))
+			k := 1 + rng.Intn(12)
+			assertSameResults(t, ix.Search(q, k, agg), single.Search(q, k), agg.String())
+		}
+	}
+}
+
+// TestShardedGridMatchesSingleTree is the main equivalence test: K=8
+// shards with the pruning grid in front, against both the single tree and
+// the brute-force oracle, across all aggregates.
+func TestShardedGridMatchesSingleTree(t *testing.T) {
+	items := dataset.Synthetic(43, 5000)
+	single := &gnn.MBM{Tree: rtree.Bulk(items, rtree.DefaultMaxEntries)}
+	ix := New(items, geo.UnitRect, Options{Shards: 8, PruneGrid: true})
+	if !ix.Pruned() {
+		t.Fatal("PruneGrid requested but Pruned() = false")
+	}
+	rng := rand.New(rand.NewSource(44))
+	for _, agg := range []gnn.Aggregate{gnn.Sum, gnn.Max, gnn.Min} {
+		single.Agg = agg
+		bf := &gnn.BruteForce{Items: items, Agg: agg}
+		for trial := 0; trial < 20; trial++ {
+			q := randomQuery(rng, 1+rng.Intn(6))
+			k := 1 + rng.Intn(12)
+			got, st := ix.SearchStats(nil, q, k, agg)
+			assertSameResults(t, got, single.Search(q, k), agg.String()+" vs tree")
+			assertSameResults(t, got, bf.Search(q, k), agg.String()+" vs oracle")
+			// The seed bound must be admissible: at or above the true
+			// k-th best cost, never below it.
+			if st.Bound < got[len(got)-1].Cost {
+				t.Fatalf("%s: seed bound %v below true k-th cost %v", agg, st.Bound, got[len(got)-1].Cost)
+			}
+		}
+	}
+}
+
+// TestShardCountExceedsPOIs covers empty shards: more shards than POIs
+// means trailing shards hold zero items, and search must still be exact.
+func TestShardCountExceedsPOIs(t *testing.T) {
+	items := dataset.Synthetic(45, 5)
+	ix := New(items, geo.UnitRect, Options{Shards: 16, PruneGrid: true})
+	if ix.Shards() != 16 {
+		t.Fatalf("Shards() = %d, want 16", ix.Shards())
+	}
+	if ix.Len() != 5 {
+		t.Fatalf("Len() = %d, want 5", ix.Len())
+	}
+	bf := &gnn.BruteForce{Items: items, Agg: gnn.Sum}
+	rng := rand.New(rand.NewSource(46))
+	for trial := 0; trial < 10; trial++ {
+		q := randomQuery(rng, 3)
+		// k beyond the database size must return the whole database,
+		// ranked — not panic or pad.
+		for _, k := range []int{1, 3, 5, 50} {
+			assertSameResults(t, ix.Search(q, k, gnn.Sum), bf.Search(q, k), "empty shards")
+		}
+	}
+}
+
+// TestAllPOIsInOneCell degenerates the grid: every POI inside a single
+// leaf cell (a dense cluster far from the query), with exact-duplicate
+// points forcing the (cost, ID) tie-break. Grid geometry must never
+// affect correctness — only the bound's tightness.
+func TestAllPOIsInOneCell(t *testing.T) {
+	var items []rtree.Item
+	for i := 0; i < 200; i++ {
+		items = append(items, rtree.Item{
+			ID: int64(i),
+			P:  geo.Point{X: 0.9001, Y: 0.9001}, // identical points: pure ID ordering
+		})
+	}
+	for i := 200; i < 400; i++ {
+		items = append(items, rtree.Item{
+			ID: int64(i),
+			P:  geo.Point{X: 0.9 + float64(i-200)*1e-6, Y: 0.9},
+		})
+	}
+	ix := New(items, geo.UnitRect, Options{Shards: 8, PruneGrid: true})
+	bf := &gnn.BruteForce{Items: items, Agg: gnn.Sum}
+	q := []geo.Point{{X: 0.1, Y: 0.1}, {X: 0.2, Y: 0.1}}
+	for _, k := range []int{1, 8, 250} {
+		assertSameResults(t, ix.Search(q, k, gnn.Sum), bf.Search(q, k), "one cell")
+	}
+}
+
+// TestEmptyAndInvalidInputs pins the degenerate corners of the Search
+// contract.
+func TestEmptyAndInvalidInputs(t *testing.T) {
+	empty := New(nil, geo.UnitRect, Options{Shards: 4, PruneGrid: true})
+	if got := empty.Search([]geo.Point{{X: 0.5, Y: 0.5}}, 3, gnn.Sum); got != nil {
+		t.Fatalf("empty index returned %v", got)
+	}
+	ix := New(dataset.Synthetic(47, 100), geo.UnitRect, Options{Shards: 4, PruneGrid: true})
+	if got := ix.Search(nil, 3, gnn.Sum); got != nil {
+		t.Fatalf("empty query returned %v", got)
+	}
+	if got := ix.Search([]geo.Point{{X: 0.5, Y: 0.5}}, 0, gnn.Sum); got != nil {
+		t.Fatalf("k=0 returned %v", got)
+	}
+}
+
+// TestShardClamping pins the Options normalization: K below 1 becomes a
+// single shard, K above MaxShards clamps.
+func TestShardClamping(t *testing.T) {
+	items := dataset.Synthetic(48, 200)
+	if got := New(items, geo.UnitRect, Options{Shards: -3}).Shards(); got != 1 {
+		t.Fatalf("Shards(-3) built %d shards, want 1", got)
+	}
+	if got := New(items, geo.UnitRect, Options{Shards: 1000}).Shards(); got != MaxShards {
+		t.Fatalf("Shards(1000) built %d shards, want %d", got, MaxShards)
+	}
+}
+
+// TestSeedBoundFewerThanK pins the no-bound case: a database smaller than
+// k cannot bound the k-th cost, so the seed must report +Inf and the
+// bounded searches degrade to unbounded — never an artificial cutoff.
+func TestSeedBoundFewerThanK(t *testing.T) {
+	items := dataset.Synthetic(49, 10)
+	g := NewGrid(items, geo.UnitRect, 0)
+	bound, _ := g.SeedBound([]geo.Point{{X: 0.5, Y: 0.5}}, 11, gnn.Sum)
+	if !math.IsInf(bound, 1) {
+		t.Fatalf("SeedBound with k > |DB| = %v, want +Inf", bound)
+	}
+}
+
+// TestSearchDeterministicAcrossPools pins that the answer does not depend
+// on the fan-out width: sequential (width 1) and wide pools must agree
+// exactly, or byte-identity would depend on scheduling.
+func TestSearchDeterministicAcrossPools(t *testing.T) {
+	items := dataset.Synthetic(50, 2000)
+	ix := New(items, geo.UnitRect, Options{Shards: 8, PruneGrid: true})
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 10; trial++ {
+		q := randomQuery(rng, 4)
+		seq, _ := ix.SearchStats(parallel.New(1), q, 8, gnn.Sum)
+		wide, _ := ix.SearchStats(parallel.New(8), q, 8, gnn.Sum)
+		assertSameResults(t, wide, seq, "pool width")
+	}
+}
+
+// TestInputOrderIrrelevant pins the deterministic partition: shuffling
+// the input slice must produce an identical index (same shard assignment,
+// same answers) — New sorts before chunking.
+func TestInputOrderIrrelevant(t *testing.T) {
+	items := dataset.Synthetic(52, 1000)
+	shuffled := make([]rtree.Item, len(items))
+	copy(shuffled, items)
+	rng := rand.New(rand.NewSource(53))
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+
+	a := New(items, geo.UnitRect, Options{Shards: 8, PruneGrid: true})
+	b := New(shuffled, geo.UnitRect, Options{Shards: 8, PruneGrid: true})
+	for trial := 0; trial < 10; trial++ {
+		q := randomQuery(rng, 3)
+		assertSameResults(t, b.Search(q, 8, gnn.Sum), a.Search(q, 8, gnn.Sum), "input order")
+	}
+}
