@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench-gate bench-kernel bench-snapshot bench-load load-smoke chaos-gate svc-smoke metrics-smoke shard-gate clean
+.PHONY: all build vet test race fuzz bench-gate bench-kernel bench-snapshot bench-load load-smoke sustained-gate chaos-gate svc-smoke metrics-smoke shard-gate clean
 
 all: vet build test
 
@@ -22,7 +22,7 @@ race:
 # Short burst of every fuzz target (15s each by default; FUZZTIME=1m
 # for longer local runs).
 fuzz:
-	./scripts/fuzz-pass.sh ./internal/core ./internal/wire ./internal/modmath ./internal/svc ./internal/shard
+	./scripts/fuzz-pass.sh ./internal/core ./internal/wire ./internal/modmath ./internal/svc ./internal/shard ./internal/parallel
 
 # The CI benchmark-regression gate, runnable locally: the serial vs
 # parallel pipeline benchmarks, then the LSP query-phase speedup gate
@@ -61,6 +61,16 @@ bench-load:
 # check and SLOs.
 load-smoke:
 	$(GO) run ./cmd/ppgnn-experiments -load-gate -load-rate 25 -load-measure 4s \
+		-load-baseline BENCH_load.json -load-out BENCH_load.ci.json
+
+# The steady-state throughput gate (DESIGN.md §15): the load gate plus
+# two sustained passes — coalescer off then on, with background-refilled
+# randomness pools and the shared constant cache engaged in both — a
+# byte-identity probe of the coalesced path, and the ≥1.3× achieved-QPS
+# floor on ≥2 cores (loudly skipped on one core; conformance and
+# byte-identity always enforced).
+sustained-gate:
+	$(GO) run ./cmd/ppgnn-experiments -load-gate -sustained \
 		-load-baseline BENCH_load.json -load-out BENCH_load.ci.json
 
 # The multi-tenant lifecycle soak: two tenants under concurrent traffic

@@ -46,6 +46,13 @@
 //	-load-warmup D   unscored warm-up window (default 1s)
 //	-load-measure D  scored window per pass (default 6s)
 //	-load-faulted    include the faulted pass (default true)
+//	-sustained       append the steady-state throughput section: a
+//	                 coalesce-off and a coalesce-on pass with refilled
+//	                 randomness pools and the shared constant cache, a
+//	                 byte-identity probe, and the ≥1.3× floor on ≥2
+//	                 cores (loudly skipped on one core)
+//	-sustained-rate R     offered arrivals/second per sustained pass (120)
+//	-sustained-measure D  scored window per sustained pass (0 = -load-measure)
 //	-chaos-gate  run the multi-tenant lifecycle soak: two tenants under
 //	             concurrent open-loop traffic (one behind seeded dial-kill
 //	             and slow-link faults, one with a quota of a single session
@@ -111,6 +118,9 @@ func main() {
 	loadWarmup := flag.Duration("load-warmup", time.Second, "unscored warm-up window for -load-gate")
 	loadMeasure := flag.Duration("load-measure", 6*time.Second, "scored window per -load-gate pass")
 	loadFaulted := flag.Bool("load-faulted", true, "include the seeded-fault pass in -load-gate")
+	sustained := flag.Bool("sustained", false, "append the steady-state section to -load-gate: coalesce-off vs coalesce-on passes with refilled pools and the shared constant cache")
+	sustainedRate := flag.Float64("sustained-rate", 120, "offered arrivals/second for the -sustained passes")
+	sustainedMeasure := flag.Duration("sustained-measure", 0, "scored window per -sustained pass (0 = -load-measure)")
 	chaosGate := flag.Bool("chaos-gate", false, "run the multi-tenant lifecycle soak (reload storm + admission sheds + faults) and write the report")
 	chaosOut := flag.String("chaos-out", "BENCH_chaos.json", "output file for -chaos-gate")
 	chaosRate := flag.Float64("chaos-rate", 25, "offered arrivals/second per tenant for -chaos-gate")
@@ -239,11 +249,14 @@ func main() {
 		}
 		start := time.Now()
 		report, err := gateCfg.LoadGate(experiments.LoadGateOptions{
-			Rate:    *loadRate,
-			Warmup:  *loadWarmup,
-			Measure: *loadMeasure,
-			Faulted: *loadFaulted,
-			Logf:    func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
+			Rate:             *loadRate,
+			Warmup:           *loadWarmup,
+			Measure:          *loadMeasure,
+			Faulted:          *loadFaulted,
+			Sustained:        *sustained,
+			SustainedRate:    *sustainedRate,
+			SustainedMeasure: *sustainedMeasure,
+			Logf:             func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
 		})
 		if err != nil {
 			fatal(err)
@@ -263,6 +276,18 @@ func main() {
 				p.Name, m.Summary(), p.Report.Mismatches(), p.Report.Abandoned, p.SLO)
 			if p.SLOViolation != "" {
 				fmt.Printf("          VIOLATION: %s\n", p.SLOViolation)
+			}
+		}
+		if s := report.Sustained; s != nil {
+			fmt.Printf("  sustained: rate=%.3g/s groups=%d byte-identical=%v\n", s.Rate, s.Groups, s.ByteIdentical)
+			for _, p := range s.Passes {
+				fmt.Printf("    %-12s achieved=%.2f/s offered=%.3g/s mismatches=%d abandoned=%d\n",
+					p.Name, p.AchievedQPS, p.OfferedQPS, p.Mismatches, p.Abandoned)
+			}
+			if reason := s.FloorSkipReason(); reason != "" {
+				fmt.Printf("    speedup=%.2fx — %s\n", s.Speedup, reason)
+			} else {
+				fmt.Printf("    speedup=%.2fx (floor 1.3x on %d cores)\n", s.Speedup, s.Cores)
 			}
 		}
 		var baseline *experiments.LoadReport

@@ -32,6 +32,14 @@
 //	              dropped and counted (default 512)
 //	-precompute N encryption-randomness factors pooled per group before
 //	              the run (default 64)
+//	-refill N     keep each group's randomness pool topped up to N by a
+//	              background refiller for the whole run (default 0 = the
+//	              one-shot -precompute fill only)
+//	-cache N      share one N-entry constant-ciphertext cache across the
+//	              fleet; hits are rerandomized so ciphertexts never
+//	              repeat on the wire (default 0 = off)
+//	-coalesce     with -self-host, merge concurrent sessions' batch work
+//	              on the in-process server (DESIGN.md §15)
 //	-oracle       conformance-check every answer (default true; forces
 //	              NoSanitize queries so answers are deterministic)
 //	-out F        write the JSON report (the BENCH_load.json shape)
@@ -55,6 +63,7 @@ import (
 	"ppgnn/internal/gnn"
 	"ppgnn/internal/load"
 	"ppgnn/internal/obs"
+	"ppgnn/internal/parallel"
 	"ppgnn/internal/rtree"
 	"ppgnn/internal/transport"
 )
@@ -76,6 +85,9 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-query end-to-end bound, retries included")
 	maxInFlight := flag.Int("max-in-flight", 512, "client-side concurrency cap")
 	precompute := flag.Int("precompute", 64, "randomness factors pooled per group before the run")
+	refill := flag.Int("refill", 0, "background-refilled pool floor per group (0 = one-shot -precompute only)")
+	cacheSize := flag.Int("cache", 0, "shared constant-ciphertext cache entries across the fleet (0 = off)")
+	coalesce := flag.Bool("coalesce", false, "with -self-host, coalesce concurrent sessions' batches on the in-process server")
 	oracleOn := flag.Bool("oracle", true, "conformance-check every answer against the plaintext engine")
 	out := flag.String("out", "", "write the JSON report here")
 	sloP95 := flag.Duration("slo-p95", 0, "measure-stage p95 bound (0 = unchecked)")
@@ -100,13 +112,20 @@ func main() {
 	target := *addr
 	if *selfHost {
 		srv := transport.NewServer(core.NewLSP(items, geo.UnitRect))
+		if *coalesce {
+			co := parallel.NewCoalescer(0, parallel.CoalesceOptions{})
+			defer co.Close()
+			srv.Coalescer = co
+		}
 		bound, err := srv.Listen("127.0.0.1:0")
 		if err != nil {
 			fatal(err)
 		}
 		defer srv.Close()
 		target = bound.String()
-		log.Printf("ppgnn-load: self-hosting %d POIs on %s", len(items), target)
+		log.Printf("ppgnn-load: self-hosting %d POIs on %s (coalesce=%v)", len(items), target, *coalesce)
+	} else if *coalesce {
+		fatal(fmt.Errorf("-coalesce configures the in-process server and needs -self-host; the daemon takes its own -coalesce flag"))
 	}
 
 	fc := load.FleetConfig{
@@ -118,6 +137,8 @@ func main() {
 		Seed:         *seed,
 		QueryTimeout: *timeout,
 		Precompute:   *precompute,
+		Refill:       *refill,
+		CacheSize:    *cacheSize,
 	}
 	if *oracleOn {
 		// The oracle is a local plaintext engine over the same dataset;

@@ -21,6 +21,15 @@
 //	             mode takes per-tenant "shards" in the config)
 //	-prune-grid  enable the hierarchical grid pruning stage in front of
 //	             the index (single-tenant mode; DESIGN.md §14)
+//	-coalesce    merge the homomorphic batch work of concurrently
+//	             admitted sessions into shared worker submissions
+//	             (DESIGN.md §15). Per-session answers stay byte-identical
+//	             to the uncoalesced path; the win is steady-state QPS on
+//	             multi-core hosts.
+//	-pool-target N  floor (per key) for the background-refilled
+//	             rerandomization pools behind tenants with
+//	             "rerandomize": true (default 16; multi-tenant mode —
+//	             the refiller scales above it with admission load)
 //	-quiet       suppress per-connection logs
 //	-max-conns N      connection limit; excess clients are shed with a
 //	                  retryable busy reply (default 0 = unlimited)
@@ -73,6 +82,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "sanitation RNG seed (single-tenant mode)")
 	shards := flag.Int("shards", 0, "shard the POI index across N parallel R-trees (0/1 = single tree; single-tenant mode)")
 	pruneGrid := flag.Bool("prune-grid", false, "enable the hierarchical grid pruning stage (single-tenant mode)")
+	coalesce := flag.Bool("coalesce", false, "merge concurrent sessions' homomorphic batches into shared submissions")
+	poolTarget := flag.Int("pool-target", svc.DefaultPoolTarget, "per-key floor for background-refilled rerandomization pools (multi-tenant mode)")
 	quiet := flag.Bool("quiet", false, "suppress per-connection logs")
 	maxConns := flag.Int("max-conns", 0, "connection limit, 0 = unlimited")
 	maxLocations := flag.Int("max-locations", transport.DefaultMaxLocations, "location frames accepted per session")
@@ -113,6 +124,7 @@ func main() {
 		service, err = svc.New(cfg, svc.Options{
 			ConfigPath:  *configPath,
 			Workers:     poolWidth,
+			PoolTarget:  *poolTarget,
 			CrashBudget: *crashBudget,
 			CrashWindow: *crashWindow,
 			Logf:        log.Printf,
@@ -153,6 +165,12 @@ func main() {
 		} else {
 			log.Printf("ppgnn-lsp: single-tenant mode, %d POIs", len(pois))
 		}
+	}
+	if *coalesce {
+		co := parallel.NewCoalescer(poolWidth, parallel.CoalesceOptions{})
+		defer co.Close()
+		srv.Coalescer = co
+		log.Printf("ppgnn-lsp: cross-session coalescing on (width %d)", poolWidth)
 	}
 	srv.MaxConns = *maxConns
 	srv.MaxLocations = *maxLocations

@@ -54,6 +54,19 @@ type LSP struct {
 	// unlinkable to them (defense in depth — Privacy III needs only the
 	// selection itself).
 	Rerandomize bool
+	// Coalesce, when set, submits the homomorphic batch phases (the
+	// candidate fan-out on the single-tree layout, the private selection,
+	// and the answer rerandomization) to a server-shared cross-session
+	// Coalescer instead of a per-query pool (DESIGN.md §15), so work from
+	// concurrently admitted sessions merges into shared batches. Answers
+	// stay byte-identical to the uncoalesced path: the paillier batch
+	// forms draw all randomness serially before fanning out and task i
+	// writes only slot i, so execution interleaving cannot change them.
+	Coalesce *parallel.Coalescer
+	// RerandPools, when set, supplies pooled r^{N^s} rerandomization
+	// factors (shared across sessions, refilled in the background) for
+	// the Rerandomize pass, replacing its per-answer online modexps.
+	RerandPools *paillier.PoolSet
 
 	tree   *rtree.Tree
 	shards *shard.Index
@@ -133,6 +146,32 @@ func (l *LSP) pool() *parallel.Pool {
 	return parallel.New(w)
 }
 
+// cryptoPool is the pool for the homomorphic phases: the shared
+// coalescer when configured, the per-query Workers pool otherwise.
+func (l *LSP) cryptoPool() *parallel.Pool {
+	if l.Coalesce != nil {
+		return l.Coalesce.Pool()
+	}
+	return l.pool()
+}
+
+// WithCoalescer returns a shallow copy of the LSP whose homomorphic
+// batch work is submitted to c (a nil c returns l itself). The copy
+// shares the POI index; transport servers call this per admitted query
+// so concurrent sessions coalesce into shared batches. Note the copy's
+// Search closure still captures the original LSP, so a sharded index's
+// internal fan-out keeps its plain per-query pool — only the top-level
+// batch submissions coalesce, and never from inside a coalescer task
+// (which would deadlock a saturated batch on itself).
+func (l *LSP) WithCoalescer(c *parallel.Coalescer) *LSP {
+	if c == nil {
+		return l
+	}
+	cp := *l
+	cp.Coalesce = c
+	return &cp
+}
+
 // Insert adds a POI to the live database — the dynamic-database capability
 // the paper contrasts against precomputation-based schemes. Sharded LSPs
 // are static (rebuild to change the database) and panic here.
@@ -194,7 +233,16 @@ func (l *LSP) Process(q *QueryMsg, locs []*LocationMsg, meter *cost.Meter) (ans 
 		Space: l.Space, Agg: q.Agg,
 	}
 	encoded := make([][]*big.Int, len(candidates))
-	err = l.pool().ForEach(context.Background(), len(candidates), func(t int) (taskErr error) {
+	candPool := l.pool()
+	if l.Coalesce != nil && l.shards == nil {
+		// The single-tree candidate fan-out is leaf work (no nested pool
+		// submissions), so it rides the shared coalescer too. Sharded
+		// search fans out internally on the per-query pool and stays off
+		// the coalescer: a coalescer task that submitted back to its own
+		// coalescer could block the very batch it runs in.
+		candPool = l.Coalesce.Pool()
+	}
+	err = candPool.ForEach(context.Background(), len(candidates), func(t int) (taskErr error) {
 		// A panic here would escape any recover installed by the caller
 		// (transport sessions recover per session); convert it into a
 		// query rejection so one hostile query cannot kill a serving
@@ -358,12 +406,12 @@ func (l *LSP) selectSinglePhase(pk *paillier.PublicKey, q *QueryMsg, encoded [][
 		}
 		rows[i] = row
 	}
-	cts, err := pk.MatSelectBatch(context.Background(), l.pool(), rows, v)
+	cts, err := pk.MatSelectBatch(context.Background(), l.cryptoPool(), rows, v)
 	if err != nil {
 		return nil, fmt.Errorf("core: private selection: %w", err)
 	}
 	if l.Rerandomize {
-		if cts, err = pk.RerandomizeBatch(context.Background(), l.pool(), nil, cts); err != nil {
+		if cts, err = l.rerandomize(pk, cts); err != nil {
 			return nil, fmt.Errorf("core: rerandomizing answer: %w", err)
 		}
 	}
@@ -401,12 +449,12 @@ func (l *LSP) selectTwoPhase(pk *paillier.PublicKey, q *QueryMsg, encoded [][]*b
 		encoded = append(encoded, zero)
 	}
 
-	cts, err := pk.LayeredSelectBatch(context.Background(), l.pool(), encoded, v1, v2)
+	cts, err := pk.LayeredSelectBatch(context.Background(), l.cryptoPool(), encoded, v1, v2)
 	if err != nil {
 		return nil, fmt.Errorf("core: layered selection: %w", err)
 	}
 	if l.Rerandomize {
-		if cts, err = pk.RerandomizeBatch(context.Background(), l.pool(), nil, cts); err != nil {
+		if cts, err = l.rerandomize(pk, cts); err != nil {
 			return nil, fmt.Errorf("core: rerandomizing answer: %w", err)
 		}
 	}
@@ -416,6 +464,26 @@ func (l *LSP) selectTwoPhase(pk *paillier.PublicKey, q *QueryMsg, encoded [][]*b
 	}
 	meter.CountOp("homomorphic-dot", int64(m*(omega+1)))
 	return NewAnswerMsg(pk, 2, out), nil
+}
+
+// rerandomize refreshes every answer ciphertext with a homomorphic
+// zero, drawing pooled r^{N^s} factors from RerandPools when the LSP
+// has one (falling back to online randomness for any factors past the
+// pool's current depth) and paying the full online encryption
+// otherwise.
+func (l *LSP) rerandomize(pk *paillier.PublicKey, cts []*paillier.Ciphertext) ([]*paillier.Ciphertext, error) {
+	if len(cts) == 0 {
+		return cts, nil
+	}
+	if l.RerandPools != nil {
+		pre, err := l.RerandPools.For(pk, cts[0].S)
+		if err != nil {
+			return nil, err
+		}
+		out, _, err := pre.RerandomizeBatch(context.Background(), l.cryptoPool(), nil, cts)
+		return out, err
+	}
+	return pk.RerandomizeBatch(context.Background(), l.cryptoPool(), nil, cts)
 }
 
 // OptimalOmega returns the ω minimizing the OPT communication cost (Eqn

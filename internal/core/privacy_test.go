@@ -8,6 +8,7 @@ import (
 
 	"ppgnn/internal/geo"
 	"ppgnn/internal/gnn"
+	"ppgnn/internal/paillier"
 	"ppgnn/internal/sanitize"
 )
 
@@ -210,6 +211,46 @@ func TestPrivacyIV_UnsanitizedIsVulnerable(t *testing.T) {
 	}
 	if !vulnerableSomewhere {
 		t.Fatal("unsanitized 16-POI answers never enabled the inequality attack; the Privacy IV tests prove nothing")
+	}
+}
+
+// TestIndicatorCacheNeverRepeatsCiphertexts sweeps the closed contract
+// of the shared constant cache at the wire level (ISSUE 10): with
+// EncCache enabled, repeated queries re-encrypt the same tiny constant
+// set through the cache, yet no ciphertext the LSP ever receives —
+// within a vector, across vectors, across queries — repeats byte for
+// byte. A repeat would hand the LSP plaintext-equality structure that
+// semantic security is supposed to hide; rerandomize-on-hit is what
+// prevents it.
+func TestIndicatorCacheNeverRepeatsCiphertexts(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	locs := randomLocations(rng, 4)
+	for _, variant := range []Variant{VariantPPGNN, VariantOPT} {
+		p := testParams(4, variant)
+		g, err := NewGroup(p, locs, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.EncCache = paillier.NewEncCache(256)
+		seen := map[string]bool{}
+		total := 0
+		for round := 0; round < 3; round++ {
+			q, _, err := g.BuildQuery(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range append(append(append([]*big.Int{}, q.V...), q.V1...), q.V2...) {
+				if key := string(c.Bytes()); seen[key] {
+					t.Fatalf("%v round %d: indicator ciphertext repeated on the wire", variant, round)
+				} else {
+					seen[key] = true
+				}
+				total++
+			}
+		}
+		if total == 0 || g.EncCache.Len() == 0 {
+			t.Fatalf("%v: sweep vacuous (total=%d, cache len=%d)", variant, total, g.EncCache.Len())
+		}
 	}
 }
 

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"ppgnn/internal/dataset"
+	"ppgnn/internal/load"
+)
+
+func healthySustained(cores int) *SustainedSection {
+	return &SustainedSection{
+		Rate: 120, Groups: 4, Cores: cores,
+		Passes: []SustainedPass{
+			{Name: "coalesce_off", OfferedQPS: 120, AchievedQPS: 50, Report: &load.Report{}},
+			{Name: "coalesce_on", OfferedQPS: 120, AchievedQPS: 80, Report: &load.Report{}},
+		},
+		Speedup:       1.6,
+		ByteIdentical: true,
+	}
+}
+
+// TestSustainedCheckRejects drives the sustained verdict table: the
+// conformance conditions are unconditional, the throughput floor applies
+// only on ≥2 cores, and a single core skips it loudly.
+func TestSustainedCheckRejects(t *testing.T) {
+	if err := healthySustained(4).check(); err != nil {
+		t.Fatalf("healthy section rejected: %v", err)
+	}
+	if err := (*SustainedSection)(nil).check(); err != nil {
+		t.Fatalf("nil section (no sustained run) rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		mut  func(*SustainedSection)
+		want string
+	}{
+		{"one pass", func(s *SustainedSection) { s.Passes = s.Passes[:1] }, "want coalesce_off and coalesce_on"},
+		{"mismatch", func(s *SustainedSection) { s.Passes[1].Mismatches = 2 }, "oracle"},
+		{"abandoned", func(s *SustainedSection) { s.Passes[0].Abandoned = 1 }, "abandoned"},
+		{"not byte-identical", func(s *SustainedSection) { s.ByteIdentical = false }, "byte-identical"},
+		{"below floor", func(s *SustainedSection) { s.Speedup = 1.1 }, "below the 1.3× floor"},
+	}
+	for _, c := range cases {
+		s := healthySustained(4)
+		c.mut(s)
+		err := s.check()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: check = %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+
+	// On one core the floor is skipped — loudly — but conformance still
+	// gates.
+	single := healthySustained(1)
+	single.Speedup = 0.9
+	if reason := single.FloorSkipReason(); !strings.Contains(reason, "SKIPPED") {
+		t.Fatalf("single-core skip not loud: %q", reason)
+	}
+	if err := single.check(); err != nil {
+		t.Fatalf("single core must skip the floor, got %v", err)
+	}
+	single.ByteIdentical = false
+	if err := single.check(); err == nil {
+		t.Fatal("single core skipped byte-identity too")
+	}
+	if reason := healthySustained(2).FloorSkipReason(); reason != "" {
+		t.Fatalf("two cores skipped the floor: %q", reason)
+	}
+
+	// The section gates through LoadReport.Check.
+	rep := &LoadReport{Cores: 4, Passes: []LoadPass{{
+		Name: "clean",
+		Report: &load.Report{Stages: []load.StageReport{{
+			Stage: "measure", Arrivals: 10, Done: 10, OK: 10,
+			LatencyP95: 0.1, OfferedQPS: 10, AchievedQPS: 10,
+		}}},
+	}}, Traces: &TraceAudit{Traces: 1, Remote: 1}}
+	rep.Sustained = healthySustained(4)
+	rep.Sustained.Speedup = 1.0
+	if err := rep.Check(nil); err == nil || !strings.Contains(err.Error(), "floor") {
+		t.Fatalf("Check ignored the sustained floor: %v", err)
+	}
+}
+
+// TestSustainedGateEndToEnd runs the full sustained section against an
+// in-process server: both passes conformant with nothing abandoned, the
+// byte-identity probe green, and the report JSON-stable. On this
+// machine's core count the floor either applies or is skipped with the
+// recorded reason — both paths must leave Check passing when the runs
+// are clean.
+func TestSustainedGateEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sustained-traffic gate run")
+	}
+	cfg := Config{Items: dataset.Synthetic(7, 1200), KeyBits: 192, Seed: 9}
+	opts := quickLoadOpts()
+	opts.Faulted = false
+	opts.Sustained = true
+	opts.SustainedRate = 60
+	opts.SustainedMeasure = 1200 * time.Millisecond
+	rep, err := cfg.LoadGate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.Sustained
+	if s == nil {
+		t.Fatal("no sustained section")
+	}
+	if len(s.Passes) != 2 || s.Passes[0].Name != "coalesce_off" || s.Passes[1].Name != "coalesce_on" {
+		t.Fatalf("want coalesce_off+coalesce_on, got %+v", s.Passes)
+	}
+	if !s.ByteIdentical {
+		t.Fatal("coalesced answers diverged from uncoalesced")
+	}
+	for _, p := range s.Passes {
+		if p.Mismatches != 0 || p.Abandoned != 0 {
+			t.Fatalf("%s pass: %d mismatches, %d abandoned", p.Name, p.Mismatches, p.Abandoned)
+		}
+		if p.AchievedQPS <= 0 {
+			t.Fatalf("%s pass achieved %.2f qps", p.Name, p.AchievedQPS)
+		}
+	}
+	if s.Cores < 2 && s.FloorSkipReason() == "" {
+		t.Fatal("single core without a loud skip reason")
+	}
+	if s.Cores >= 2 && s.Speedup < sustainedSpeedupFloor {
+		t.Fatalf("sustained speedup %.2f below floor on %d cores", s.Speedup, s.Cores)
+	}
+	if err := rep.Check(nil); err != nil {
+		t.Fatalf("Check(nil): %v", err)
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back LoadReport
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Check(rep); err != nil {
+		t.Fatalf("self-baseline check: %v", err)
+	}
+}

@@ -95,9 +95,21 @@ func catalog() []catalogEntry {
 		{kindCounter, "paillier_ops_total", nil, each("op",
 			"add", "mul_plain", "dot", "mat_select", "rerandomize", "partial_dec", "combine")},
 		{kindHistogram, "paillier_decrypt_seconds", TimeBuckets, allOf("path")},
-		{kindGauge, "paillier_precompute_pool_depth", nil, nil},
+		// The pool-depth gauge is per-Precomputer (degree × tenant slot),
+		// not a process aggregate: the coordinator's s=1/s=2 pools and any
+		// per-tenant refilled pools coexist, and one summed gauge is
+		// meaningless under multi-pool traffic (ISSUE 10 satellite).
+		{kindGauge, "paillier_precompute_pool_depth", nil, cross(allOf("degree"), allOf("tenant"))},
 		{kindCounter, "paillier_precompute_filled_total", nil, nil},
 		{kindCounter, "paillier_precompute_encrypt_total", nil, allOf("source")},
+
+		// background Precomputer refiller + shared encrypted-constant
+		// cache (DESIGN.md §15). The cache records hit/miss only; keys
+		// and plaintexts never reach a metric.
+		{kindCounter, "paillier_pool_refill_fills_total", nil, nil},
+		{kindCounter, "paillier_pool_refill_factors_total", nil, nil},
+		{kindGauge, "paillier_pool_refill_target", nil, nil},
+		{kindCounter, "paillier_enc_cache_total", nil, each("result", "hit", "miss")},
 
 		// protocol phase spans.
 		{kindHistogram, phaseSecondsName, TimeBuckets, cross(phases, outcomes)},
@@ -117,6 +129,16 @@ func catalog() []catalogEntry {
 		{kindGauge, "parallel_pool_depth", nil, nil},
 		{kindHistogram, "parallel_task_seconds", TimeBuckets, nil},
 		{kindHistogram, "parallel_batch_size", CountBuckets, nil},
+
+		// cross-session coalescer (DESIGN.md §15): flush trigger mix,
+		// micro-batch shape (tasks and distinct sessions per flush), the
+		// queue wait each submission paid, and submissions that ran
+		// inline because the coalescer was closed.
+		{kindCounter, "parallel_coalesce_batches_total", nil, allOf("trigger")},
+		{kindCounter, "parallel_coalesce_inline_total", nil, nil},
+		{kindHistogram, "parallel_coalesce_batch_tasks", CountBuckets, nil},
+		{kindHistogram, "parallel_coalesce_batch_sessions", CountBuckets, nil},
+		{kindHistogram, "parallel_coalesce_wait_seconds", TimeBuckets, nil},
 
 		// modmath exponentiation kernel (DESIGN.md §11): table builds by
 		// family, fixed-base table hit/miss, and the live width of every

@@ -96,6 +96,11 @@ var labelEnums = map[string]map[string]bool{
 	// active for a search (DESIGN.md §14). A boolean mode bit, never a
 	// per-query datum.
 	"grid": enum("on", "off"),
+	// trigger: why the cross-session coalescer flushed a micro-batch
+	// (DESIGN.md §15): the pending task count hit the size bound, the
+	// oldest submission hit the flush deadline, or the coalescer was
+	// closing and drained what it had.
+	"trigger": enum("size", "deadline", "close"),
 }
 
 func enum(vs ...string) map[string]bool {
@@ -122,6 +127,10 @@ var traceAttrEnums = map[string]map[string]bool{
 	"candidates":  enum(countBucketLabels()...),
 	"shards":      enum(countBucketLabels()...),
 	"retry_after": enum(durationBucketLabels()...),
+	// coalesced: whether the query's homomorphic batches were routed
+	// through the cross-session coalescer (DESIGN.md §15). A boolean
+	// mode bit, never a per-query datum.
+	"coalesced": enum("on", "off"),
 }
 
 // retryAfterEdges are the bucket edges for the retry_after attribute.

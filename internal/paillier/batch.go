@@ -33,6 +33,21 @@ import (
 //     element fails the whole batch before any randomness is consumed;
 //     mid-batch failures cancel remaining work and the first error is
 //     returned, with every worker joined before the call returns.
+//
+// Concurrent refill ordering contract (ISSUE 10): a Precomputer may be
+// refilled (FillCtx, typically from the background refiller) while
+// consumers encrypt from it. Both sides are atomic with respect to the
+// pool mutex — takeN pops all its factors in one critical section, and
+// FillCtx appends its whole chunk in one critical section AFTER the
+// exponentiations are done — so a consuming batch observes either none
+// or all of any concurrent fill, never a partial one. Within a batch,
+// pooled factors are always the LIFO sequence repeated take calls would
+// return from the same pool state: a concurrent fill can change WHICH
+// factors a racing batch receives (the newest at its takeN instant),
+// but never their relative order, split a fill across two batches'
+// prefixes, or hand the same factor to two consumers. With the refiller
+// paused, EncryptBatch output is byte-identical to the serial loop for
+// the same pool state and reader seed at any worker count.
 
 // errNilElement keeps batch validation messages uniform.
 var errNilElement = errors.New("paillier: nil element in batch")
@@ -347,7 +362,8 @@ func (p *Precomputer) takeN(n int) []*big.Int {
 		out[i] = p.pool[len(p.pool)-1-i]
 	}
 	p.pool = p.pool[:len(p.pool)-n]
-	mPoolDepth.Add(int64(-n))
+	p.depth.Add(int64(-n))
+	p.taken.Add(int64(n))
 	return out
 }
 
@@ -401,6 +417,63 @@ func (p *Precomputer) EncryptBatch(ctx context.Context, pl *parallel.Pool, rando
 	return out, len(pooled), nil
 }
 
+// RerandomizeBatch re-randomizes every ciphertext using pooled factors
+// while they last, then online randomness drawn serially from random,
+// returning fresh ciphertexts in input order plus how many factors came
+// from the pool. Every input must be a degree-p.s ciphertext. Because
+// an encryption of zero under factor r^{N^s} IS the factor, the pooled
+// path costs one modular multiplication per ciphertext — this is what
+// lets a refilled per-tenant pool keep server-side rerandomization off
+// the online critical path (DESIGN.md §15).
+func (p *Precomputer) RerandomizeBatch(ctx context.Context, pl *parallel.Pool, random io.Reader, cs []*Ciphertext) ([]*Ciphertext, int, error) {
+	for i, c := range cs {
+		if c == nil {
+			return nil, 0, fmt.Errorf("paillier: ciphertext %d: %w", i, errNilElement)
+		}
+		if c.S != p.s {
+			return nil, 0, fmt.Errorf("paillier: ciphertext %d degree %d does not match pool degree %d", i, c.S, p.s)
+		}
+	}
+	pooled := p.takeN(len(cs))
+	sr := p.pk.shortRand.Load()
+	online := make([]*big.Int, 0, len(cs)-len(pooled))
+	for range cs[len(pooled):] {
+		r, err := p.pk.drawEncRand(random, sr)
+		if err != nil {
+			return nil, 0, fmt.Errorf("paillier: drawing randomness: %w", err)
+		}
+		online = append(online, r)
+	}
+	p.pk.warmEnc(p.s)
+	mod := p.pk.NS(p.s + 1)
+	zero := new(big.Int)
+	out := make([]*Ciphertext, len(cs))
+	err := pl.ForEach(ctx, len(cs), func(i int) error {
+		mRerandomize.Inc()
+		if i < len(pooled) {
+			c := new(big.Int).Mul(cs[i].C, pooled[i])
+			c.Mod(c, mod)
+			mEncPooled.Inc()
+			countEnc(p.s)
+			mAdd.Inc()
+			out[i] = &Ciphertext{C: c, S: p.s}
+			return nil
+		}
+		mEncOnline.Inc()
+		z := p.pk.encryptWith(zero, online[i-len(pooled)], sr, p.s)
+		ct, err := p.pk.Add(cs[i], z)
+		if err != nil {
+			return fmt.Errorf("paillier: rerandomizing %d: %w", i, err)
+		}
+		out[i] = ct
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, len(pooled), nil
+}
+
 // FillCtx adds n randomness factors to the pool, fanning the factor
 // exponentiations — the entire cost of the offline phase — across the
 // pool's workers. Draws stay serial, so the pool contents for a seeded
@@ -433,8 +506,8 @@ func (p *Precomputer) FillCtx(ctx context.Context, pl *parallel.Pool, random io.
 	}
 	p.mu.Lock()
 	p.pool = append(p.pool, fresh...)
+	p.depth.Add(int64(n))
 	p.mu.Unlock()
 	mPoolFilled.Add(int64(n))
-	mPoolDepth.Add(int64(n))
 	return nil
 }

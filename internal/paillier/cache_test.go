@@ -1,0 +1,183 @@
+package paillier
+
+import (
+	"bytes"
+	"context"
+	"math/big"
+	"testing"
+
+	"ppgnn/internal/obs"
+)
+
+func cacheCounters() (hit, miss int64) {
+	snap := obs.Default().Snapshot()
+	return snap.Counter("paillier_enc_cache_total", obs.L("result", "hit")),
+		snap.Counter("paillier_enc_cache_total", obs.L("result", "miss"))
+}
+
+// TestEncCacheRoundTripAndHitMiss runs the same plaintext batch through
+// the cache twice: the first pass misses and populates, the second hits
+// throughout, and both passes decrypt correctly.
+func TestEncCacheRoundTripAndHitMiss(t *testing.T) {
+	k := key(t)
+	ec := NewEncCache(64)
+	ms := []*big.Int{big.NewInt(0), big.NewInt(1), big.NewInt(0), big.NewInt(12345)}
+	for s := 1; s <= 2; s++ {
+		hit0, miss0 := cacheCounters()
+		first, pooled, err := ec.EncryptBatch(context.Background(), nil, nil, &k.PublicKey, nil, ms, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pooled != 0 {
+			t.Fatalf("s=%d: pooled = %d with no precomputer", s, pooled)
+		}
+		hit1, miss1 := cacheCounters()
+		if hit1 != hit0 || miss1-miss0 != int64(len(ms)) {
+			t.Fatalf("s=%d first pass: hits +%d misses +%d, want +0/+%d", s, hit1-hit0, miss1-miss0, len(ms))
+		}
+		second, _, err := ec.EncryptBatch(context.Background(), nil, nil, &k.PublicKey, nil, ms, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hit2, miss2 := cacheCounters()
+		if hit2-hit1 != int64(len(ms)) || miss2 != miss1 {
+			t.Fatalf("s=%d second pass: hits +%d misses +%d, want +%d/+0", s, hit2-hit1, miss2-miss1, len(ms))
+		}
+		for i := range ms {
+			for pass, cts := range [][]*Ciphertext{first, second} {
+				got, err := k.Decrypt(cts[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Cmp(ms[i]) != 0 {
+					t.Fatalf("s=%d pass %d slot %d: roundtrip %v != %v", s, pass, i, got, ms[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEncCacheHitsNeverByteIdentical is the rerandomize-on-hit privacy
+// pin (ISSUE 10 satellite): two hits for the same plaintext — and a hit
+// against the miss that populated it — must never emit byte-identical
+// ciphertexts, while all decryptions match. Equality of plaintexts can
+// never become equality of ciphertexts on the wire.
+func TestEncCacheHitsNeverByteIdentical(t *testing.T) {
+	k := key(t)
+	ec := NewEncCache(16)
+	m := []*big.Int{big.NewInt(7)}
+	var emitted [][]byte
+	for round := 0; round < 4; round++ {
+		cts, _, err := ec.EncryptBatch(context.Background(), nil, nil, &k.PublicKey, nil, m, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := k.Decrypt(cts[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Int64() != 7 {
+			t.Fatalf("round %d: roundtrip %v", round, got)
+		}
+		emitted = append(emitted, cts[0].C.Bytes())
+	}
+	// A batch with a repeated plaintext must differ within the batch too.
+	cts, _, err := ec.EncryptBatch(context.Background(), nil, nil, &k.PublicKey, nil,
+		[]*big.Int{big.NewInt(7), big.NewInt(7)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emitted = append(emitted, cts[0].C.Bytes(), cts[1].C.Bytes())
+	for i := 0; i < len(emitted); i++ {
+		for j := i + 1; j < len(emitted); j++ {
+			if bytes.Equal(emitted[i], emitted[j]) {
+				t.Fatalf("emissions %d and %d of the same plaintext are byte-identical", i, j)
+			}
+		}
+	}
+}
+
+// TestEncCachePooledFactors drives the cache through a Precomputer and
+// checks the pooled/online split and that hits still consume pool
+// factors (fresh randomness per emission, even on a hit).
+func TestEncCachePooledFactors(t *testing.T) {
+	k := key(t)
+	pre, err := k.NewPrecomputer(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pre.Fill(nil, 3); err != nil {
+		t.Fatal(err)
+	}
+	ec := NewEncCache(16)
+	ms := []*big.Int{big.NewInt(5), big.NewInt(5)}
+	_, pooled, err := ec.EncryptBatch(context.Background(), nil, nil, &k.PublicKey, pre, ms, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pooled != 2 {
+		t.Fatalf("pooled = %d, want 2", pooled)
+	}
+	// Second pass: hits, but still one factor per emission (2 requested,
+	// 1 left in the pool).
+	_, pooled, err = ec.EncryptBatch(context.Background(), nil, nil, &k.PublicKey, pre, ms, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pooled != 1 {
+		t.Fatalf("second-pass pooled = %d, want 1", pooled)
+	}
+	if pre.Size() != 0 {
+		t.Fatalf("pool size %d, want 0", pre.Size())
+	}
+	// Mismatched precomputer is rejected.
+	pre2, _ := k.NewPrecomputer(2)
+	if _, _, err := ec.EncryptBatch(context.Background(), nil, nil, &k.PublicKey, pre2, ms, 1); err == nil {
+		t.Fatal("mismatched precomputer degree accepted")
+	}
+}
+
+// TestEncCacheKeyIsolationAndBound checks two keys never share entries
+// (same plaintext, different keys must decrypt under their own keys)
+// and the LRU bound holds.
+func TestEncCacheKeyIsolationAndBound(t *testing.T) {
+	k1 := key(t)
+	k2, err := GenerateKey(nil, testKeyBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec := NewEncCache(3)
+	m := []*big.Int{big.NewInt(9)}
+	c1, _, err := ec.EncryptBatch(context.Background(), nil, nil, &k1.PublicKey, nil, m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _, err := ec.EncryptBatch(context.Background(), nil, nil, &k2.PublicKey, nil, m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := k1.Decrypt(c1[0]); got.Int64() != 9 {
+		t.Fatalf("k1 roundtrip %v", got)
+	}
+	if got, _ := k2.Decrypt(c2[0]); got.Int64() != 9 {
+		t.Fatalf("k2 roundtrip %v", got)
+	}
+	// Same plaintext, same degree, different key: distinct entries.
+	if ec.Len() != 2 {
+		t.Fatalf("cache len = %d, want 2", ec.Len())
+	}
+	// Push past the bound; the cache stays bounded and correct.
+	for i := 0; i < 10; i++ {
+		ms := []*big.Int{big.NewInt(int64(100 + i))}
+		cts, _, err := ec.EncryptBatch(context.Background(), nil, nil, &k1.PublicKey, nil, ms, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, _ := k1.Decrypt(cts[0]); got.Cmp(ms[0]) != 0 {
+			t.Fatalf("roundtrip %v != %v", got, ms[0])
+		}
+	}
+	if ec.Len() > 3 {
+		t.Fatalf("cache len = %d, want <= 3", ec.Len())
+	}
+}

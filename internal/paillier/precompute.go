@@ -6,6 +6,9 @@ import (
 	"io"
 	"math/big"
 	"sync"
+	"sync/atomic"
+
+	"ppgnn/internal/obs"
 )
 
 // Precomputer generates encryption randomness offline. An ε_s encryption is
@@ -18,17 +21,44 @@ type Precomputer struct {
 	pk *PublicKey
 	s  int
 
-	mu   sync.Mutex
-	pool []*big.Int // ready r^{N^s} mod N^{s+1} factors
+	// taken counts factors ever consumed from the pool; the background
+	// refiller (refill.go) differences it to estimate drain rate.
+	taken atomic.Int64
+
+	mu    sync.Mutex
+	pool  []*big.Int // ready r^{N^s} mod N^{s+1} factors
+	depth *obs.Gauge // this pool's depth gauge (degree × tenant slot)
 }
 
-// NewPrecomputer creates an empty pool for degree-s encryptions.
+// NewPrecomputer creates an empty pool for degree-s encryptions. The
+// pool reports depth under the "default" tenant slot until
+// SetMetricTenant rebinds it.
 func (pk *PublicKey) NewPrecomputer(s int) (*Precomputer, error) {
 	if s < 1 || s > MaxS {
 		return nil, fmt.Errorf("paillier: degree s=%d out of range [1,%d]", s, MaxS)
 	}
-	return &Precomputer{pk: pk, s: s}, nil
+	return &Precomputer{pk: pk, s: s, depth: poolDepthGauge(s, "default")}, nil
 }
+
+// SetMetricTenant moves this pool's depth gauge to the given tenant
+// slot (a closed-enum value — svc's tenantSlot, never a tenant name).
+// The current depth transfers between gauges so per-slot sums stay
+// exact across the move.
+func (p *Precomputer) SetMetricTenant(slot string) {
+	g := poolDepthGauge(p.s, slot)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if g == p.depth {
+		return
+	}
+	n := int64(len(p.pool))
+	p.depth.Add(-n)
+	g.Add(n)
+	p.depth = g
+}
+
+// Taken returns the number of factors ever consumed from the pool.
+func (p *Precomputer) Taken() int64 { return p.taken.Load() }
 
 // Fill adds n randomness factors to the pool (the offline phase). random
 // defaults to crypto/rand.Reader when nil. The r^{N^s} exponentiations
@@ -54,7 +84,8 @@ func (p *Precomputer) take() *big.Int {
 	}
 	r := p.pool[len(p.pool)-1]
 	p.pool = p.pool[:len(p.pool)-1]
-	mPoolDepth.Add(-1)
+	p.depth.Add(-1)
+	p.taken.Add(1)
 	return r
 }
 

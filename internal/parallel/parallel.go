@@ -27,9 +27,12 @@ import (
 // Pool bounds the concurrency of batch helpers. A Pool holds no
 // goroutines or other resources — workers are spawned per batch and
 // joined before the batch returns — so it is freely copyable, safe for
-// concurrent use, and needs no Close.
+// concurrent use, and needs no Close. A pool obtained from
+// Coalescer.Pool additionally routes every batch through the
+// cross-session coalescer (coalesce.go); semantics are unchanged.
 type Pool struct {
 	workers int
+	co      *Coalescer
 }
 
 // New returns a pool of the given width; workers <= 0 means GOMAXPROCS.
@@ -42,6 +45,10 @@ func New(workers int) *Pool {
 
 // Workers returns the pool's width.
 func (p *Pool) Workers() int { return p.workers }
+
+// Coalesced reports whether batches on this pool are routed through a
+// cross-session coalescer (the "coalesced" trace attribute).
+func (p *Pool) Coalesced() bool { return p != nil && p.co != nil }
 
 // defaultPool is the process-wide pool used when callers pass a nil
 // *Pool: GOMAXPROCS-wide unless SetDefaultWorkers overrides it (the
@@ -91,8 +98,13 @@ func (p *Pool) ForEach(ctx context.Context, n int, fn func(i int) error) error {
 }
 
 // run is ForEach without the batch-size observation (MapChunked records
-// the item count, not the chunk count).
+// the item count, not the chunk count). A coalescing pool hands the
+// whole batch to the coalescer, which merges it with other sessions'
+// pending batches; error, panic, and ordering semantics are identical.
 func (p *Pool) run(ctx context.Context, n int, fn func(i int) error) error {
+	if p.co != nil {
+		return p.co.submit(ctx, n, fn)
+	}
 	workers := p.workers
 	if workers > n {
 		workers = n

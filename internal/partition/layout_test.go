@@ -1,0 +1,77 @@
+package partition
+
+import (
+	"testing"
+
+	"ppgnn/internal/geo"
+)
+
+// TestLayoutMatchesDirectConstruction pins the memoized layout path
+// against the direct per-candidate construction (CandidateAt +
+// candidate) for several shapes: same candidates, same order, and a
+// second call for the same shape hits the memo.
+func TestLayoutMatchesDirectConstruction(t *testing.T) {
+	shapes := []struct{ n, d, delta int }{
+		{1, 4, 4},
+		{3, 5, 10},
+		{4, 6, 24},
+		{5, 10, 40},
+	}
+	for _, sh := range shapes {
+		p, err := Solve(sh.n, sh.d, sh.delta)
+		if err != nil {
+			t.Fatalf("Solve(%d,%d,%d): %v", sh.n, sh.d, sh.delta, err)
+		}
+		locSets := make([][]geo.Point, p.N)
+		for u := range locSets {
+			locSets[u] = make([]geo.Point, p.D)
+			for i := range locSets[u] {
+				locSets[u][i] = geo.Point{X: float64(u*100 + i), Y: float64(i)}
+			}
+		}
+		got, err := p.Candidates(locSets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != p.DeltaPrime {
+			t.Fatalf("shape %+v: %d candidates, want δ'=%d", sh, len(got), p.DeltaPrime)
+		}
+		for ct := 0; ct < p.DeltaPrime; ct++ {
+			seg, x := p.CandidateAt(ct)
+			want := p.candidate(locSets, seg, x)
+			for u := range want {
+				if got[ct][u] != want[u] {
+					t.Fatalf("shape %+v candidate %d user %d: layout %v != direct %v",
+						sh, ct, u, got[ct][u], want[u])
+				}
+			}
+		}
+		// Second call must reuse the memoized table (same backing array).
+		first := p.layout()
+		second := p.layout()
+		if &first[0] != &second[0] {
+			t.Fatalf("shape %+v: layout rebuilt instead of memoized", sh)
+		}
+	}
+}
+
+// TestLayoutCacheBounded drives more shapes than maxLayouts through the
+// memo and checks the cache stays bounded while results stay correct.
+func TestLayoutCacheBounded(t *testing.T) {
+	for d := 2; d < 2+maxLayouts+5; d++ {
+		p, err := Solve(2, d, d)
+		if err != nil {
+			t.Fatalf("Solve(2,%d,%d): %v", d, d, err)
+		}
+		pos := p.layout()
+		if len(pos) != p.DeltaPrime {
+			t.Fatalf("d=%d: layout rows %d, want %d", d, len(pos), p.DeltaPrime)
+		}
+	}
+	layoutMu.Lock()
+	n := len(layoutCache)
+	layoutMu.Unlock()
+	if n > maxLayouts {
+		t.Fatalf("layout cache holds %d entries, bound is %d", n, maxLayouts)
+	}
+}

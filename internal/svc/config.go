@@ -63,6 +63,12 @@ type TenantConfig struct {
 	// the tenant's index (DESIGN.md §14); implies a sharded (static)
 	// index even with shards <= 1.
 	PruneGrid bool `json:"prune_grid,omitempty"`
+	// Rerandomize refreshes the randomness of every answer ciphertext
+	// before it goes back on the wire (core.LSP.Rerandomize). The service
+	// backs it with per-tenant background-refilled randomness pools that
+	// survive epoch swaps (DESIGN.md §15), so the defense-in-depth pass
+	// costs one modular multiply per answer element at steady state.
+	Rerandomize bool `json:"rerandomize,omitempty"`
 }
 
 // ParseConfig decodes and validates a config document. It is the fuzz

@@ -10,6 +10,7 @@ import (
 	"ppgnn/internal/dataset"
 	"ppgnn/internal/geo"
 	"ppgnn/internal/obs"
+	"ppgnn/internal/paillier"
 	"ppgnn/internal/rtree"
 	"ppgnn/internal/transport"
 )
@@ -26,6 +27,10 @@ type Options struct {
 	CrashBudget int
 	// CrashWindow is the watchdog's sliding window (default 1 minute).
 	CrashWindow time.Duration
+	// PoolTarget is the per-tenant floor for the background-refilled
+	// rerandomization pools (default 16 factors). The live target scales
+	// above it with admitted-session pressure — see poolTargetHint.
+	PoolTarget int
 	// Obs receives the service's telemetry (nil = obs.Default).
 	Obs *obs.Registry
 	// Logf, when set, receives lifecycle diagnostics.
@@ -82,6 +87,16 @@ type Service struct {
 	// retry-after hint on sheds. Stored atomically so Release never locks.
 	costEWMA atomic.Int64
 
+	// pools holds the per-tenant rerandomization PoolSets, keyed by
+	// tenant ID — deliberately OUTSIDE the epoch: pooled r^{N^s} factors
+	// are key material, not index state, so a config reload must not
+	// throw away a warm pool. An epoch swap rebinds the surviving pools'
+	// metric slots and closes the pools of removed tenants (their
+	// Precomputers stay usable, refiller-less, for draining sessions).
+	// Guarded by poolsMu, never s.mu, so Admit's hot path stays lock-free.
+	poolsMu sync.Mutex
+	pools   map[string]*paillier.PoolSet
+
 	watchdog watchdog
 
 	// fatal closes when the watchdog trips; the command drains and exits.
@@ -111,6 +126,7 @@ func New(cfg *Config, opts Options) (*Service, error) {
 		opts:   opts,
 		reg:    reg,
 		epochs: make(map[*epoch]struct{}),
+		pools:  make(map[string]*paillier.PoolSet),
 		state:  "reloading",
 		fatal:  make(chan struct{}),
 	}
@@ -168,10 +184,82 @@ func (s *Service) buildEpoch(cfg *Config) (*epoch, error) {
 		if tc.Seed != 0 {
 			lsp.SanitizeSeed = tc.Seed
 		}
+		lsp.Rerandomize = tc.Rerandomize
 		t := &tenant{cfg: tc, lsp: lsp, slot: tenantSlot(tc.ID, &slot)}
 		ep.tenants[tc.ID] = t
 	}
 	return ep, nil
+}
+
+// DefaultPoolTarget is the Options.PoolTarget default: the floor, in
+// r^{N^s} factors per (key, degree) pool, the refillers keep warm.
+const DefaultPoolTarget = 16
+
+// poolTargetHint converts the service's admission signals into a pool
+// size: one PoolTarget of headroom per admitted session (each session's
+// answer rerandomization drains a batch), doubled when the admission
+// cost EWMA says sessions turn over in well under a refill breath —
+// fast sessions cycle several batches through a pool per tick. Clamped
+// to [PoolTarget, 64×PoolTarget] so an admission burst cannot balloon
+// pool memory; the refiller's own drain EWMA sizes on top of this hint.
+func (s *Service) poolTargetHint() int {
+	base := s.opts.PoolTarget
+	if base <= 0 {
+		base = DefaultPoolTarget
+	}
+	want := base * (int(s.inflight.Load()) + 1)
+	if c := time.Duration(s.costEWMA.Load()); c > 0 && c < 50*time.Millisecond {
+		want *= 2
+	}
+	if max := 64 * base; want > max {
+		want = max
+	}
+	return want
+}
+
+// poolSetFor returns the tenant's PoolSet, creating it on first use and
+// rebinding its metric slot (slots can move between epochs as the
+// config order changes).
+func (s *Service) poolSetFor(id, slot string) *paillier.PoolSet {
+	s.poolsMu.Lock()
+	defer s.poolsMu.Unlock()
+	if ps, ok := s.pools[id]; ok {
+		ps.SetTenant(slot)
+		return ps
+	}
+	ps := paillier.NewPoolSet(paillier.PoolSetOptions{
+		Tenant: slot,
+		Refill: paillier.RefillerOptions{Target: s.poolTargetHint},
+	})
+	s.pools[id] = ps
+	return ps
+}
+
+// bindPools attaches the persistent per-tenant PoolSets to a freshly
+// built epoch's rerandomizing LSPs and closes the pools of tenants the
+// new config dropped (or switched off). Runs only after buildEpoch
+// succeeded: a rejected reload must not disturb the serving pools.
+func (s *Service) bindPools(ep *epoch) {
+	for id, t := range ep.tenants {
+		if t.cfg.Rerandomize {
+			t.lsp.RerandPools = s.poolSetFor(id, t.slot)
+		}
+	}
+	s.poolsMu.Lock()
+	var stale []*paillier.PoolSet
+	for id, ps := range s.pools {
+		if t, ok := ep.tenants[id]; !ok || !t.cfg.Rerandomize {
+			stale = append(stale, ps)
+			delete(s.pools, id)
+		}
+	}
+	s.poolsMu.Unlock()
+	// Close outside poolsMu: Close waits for refiller goroutines, and a
+	// draining session of a retiring epoch can still use the closed
+	// set's Precomputers (refiller-less) safely.
+	for _, ps := range stale {
+		ps.Close()
+	}
 }
 
 // tenantSlot maps a tenant id onto the closed metric-slot enum: the
@@ -248,6 +336,7 @@ func (s *Service) apply(cfg *Config) error {
 		}
 		return err
 	}
+	s.bindPools(ep)
 	s.seq++
 	ep.seq = s.seq
 	s.cur.Store(ep)
@@ -456,10 +545,22 @@ func (s *Service) OnSessionPanic() {
 // transport.Server's own Close drains the in-flight sessions.
 func (s *Service) Close() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return
 	}
 	s.closed = true
 	s.setStateLocked("draining")
+	s.mu.Unlock()
+	// Stop the pool refillers outside s.mu; draining sessions can keep
+	// using the closed sets' Precomputers.
+	s.poolsMu.Lock()
+	pools := make([]*paillier.PoolSet, 0, len(s.pools))
+	for _, ps := range s.pools {
+		pools = append(pools, ps)
+	}
+	s.poolsMu.Unlock()
+	for _, ps := range pools {
+		ps.Close()
+	}
 }

@@ -17,6 +17,7 @@ import (
 	"ppgnn/internal/core"
 	"ppgnn/internal/cost"
 	"ppgnn/internal/obs"
+	"ppgnn/internal/parallel"
 	"ppgnn/internal/wire"
 )
 
@@ -109,6 +110,14 @@ type Server struct {
 	// and MaxLocations for that session. Without one the server is
 	// single-tenant: only the default tenant is served.
 	Admitter SessionAdmitter
+	// Coalescer, when set, merges the homomorphic batch submissions of
+	// concurrently admitted sessions into shared parallel batches
+	// (DESIGN.md §15): each session's LSP is wrapped per query with
+	// core.LSP.WithCoalescer, after admission, so shed sessions never
+	// touch it. Per-session answers are byte-identical to the
+	// uncoalesced path. The server does not own the coalescer — the
+	// serving command creates it and closes it after Server.Close.
+	Coalescer *parallel.Coalescer
 	// OnSessionPanic, when set, is invoked for every recovered
 	// per-session panic — the crash-budget watchdog's feed.
 	OnSessionPanic func()
@@ -465,6 +474,9 @@ func (s *Server) serveQuery(conn net.Conn) (err error) {
 		tr.Root().SetAttr("admission", "ok")
 		tr.Root().SetAttr("tenant", DefaultTenant)
 	}
+	// Admitted: route this session's homomorphic batches through the
+	// server-shared coalescer (WithCoalescer is the identity on nil).
+	lsp = lsp.WithCoalescer(s.Coalescer)
 	q, err := core.UnmarshalQuery(payload)
 	if err != nil {
 		return s.replyError(conn, err)
